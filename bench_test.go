@@ -1,0 +1,584 @@
+// Package pvcsim's root benchmark harness: one testing.B benchmark per
+// paper table and figure (regenerating its rows each iteration), plus
+// real host-kernel throughput benches and the ablation benches called out
+// in DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+package pvcsim
+
+import (
+	"io"
+	"testing"
+
+	"pvcsim/internal/apps/hacc"
+	"pvcsim/internal/apps/openmc"
+	"pvcsim/internal/core"
+	"pvcsim/internal/expected"
+	"pvcsim/internal/hw"
+	"pvcsim/internal/kernels"
+	"pvcsim/internal/mem"
+	"pvcsim/internal/microbench"
+	"pvcsim/internal/miniapps/cloverleaf"
+	"pvcsim/internal/miniapps/minibude"
+	"pvcsim/internal/miniapps/miniqmc"
+	"pvcsim/internal/miniapps/rimp2"
+	"pvcsim/internal/paper"
+	"pvcsim/internal/perfmodel"
+	"pvcsim/internal/topology"
+	"pvcsim/internal/units"
+)
+
+// --- Table II: one bench per microbenchmark family, regenerating the
+// Aurora and Dawn rows. ---
+
+func benchTableIIMetric(b *testing.B, metrics ...paper.Metric) {
+	b.Helper()
+	suites := []*microbench.Suite{
+		microbench.NewSuite(topology.NewAurora()),
+		microbench.NewSuite(topology.NewDawn()),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range suites {
+			for _, m := range metrics {
+				for _, scope := range []paper.Scope{paper.OneStack, paper.OnePVC, paper.FullNode} {
+					if _, err := s.Run(m, scope); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkTableII_PeakFlops(b *testing.B) {
+	benchTableIIMetric(b, paper.FP64Peak, paper.FP32Peak)
+}
+
+func BenchmarkTableII_Triad(b *testing.B) {
+	benchTableIIMetric(b, paper.TriadBW)
+}
+
+func BenchmarkTableII_PCIe(b *testing.B) {
+	benchTableIIMetric(b, paper.PCIeH2D, paper.PCIeD2H, paper.PCIeBidir)
+}
+
+func BenchmarkTableII_GEMM(b *testing.B) {
+	benchTableIIMetric(b, paper.DGEMM, paper.SGEMM, paper.HGEMM, paper.BF16GEMM, paper.TF32GEMM, paper.I8GEMM)
+}
+
+func BenchmarkTableII_FFT(b *testing.B) {
+	benchTableIIMetric(b, paper.FFT1D, paper.FFT2D)
+}
+
+// --- Table III ---
+
+func BenchmarkTableIII_P2P(b *testing.B) {
+	suites := []*microbench.Suite{
+		microbench.NewSuite(topology.NewAurora()),
+		microbench.NewSuite(topology.NewDawn()),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range suites {
+			if _, err := s.P2P(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Table IV: reference characteristics through the device models. ---
+
+func BenchmarkTableIV_References(b *testing.B) {
+	study := core.NewStudy()
+	for i := 0; i < b.N; i++ {
+		if err := study.TableIV().Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table V ---
+
+func BenchmarkTableV_Characteristics(b *testing.B) {
+	study := core.NewStudy()
+	for i := 0; i < b.N; i++ {
+		if err := study.TableV().Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table VI: one bench per workload, evaluating every published cell. ---
+
+func BenchmarkTableVI_MiniBUDE(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, sys := range topology.AllSystems() {
+			if fom, _ := minibude.FOM(sys); fom <= 0 {
+				b.Fatal("non-positive FOM")
+			}
+		}
+	}
+}
+
+func BenchmarkTableVI_CloverLeaf(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, sys := range topology.AllSystems() {
+			node := topology.NewNode(sys)
+			for _, n := range []int{1, node.GPU.SubCount, node.TotalStacks()} {
+				if _, err := cloverleaf.FOM(sys, n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkTableVI_MiniQMC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, sys := range topology.AllSystems() {
+			node := topology.NewNode(sys)
+			for _, n := range []int{1, node.GPU.SubCount, node.TotalStacks()} {
+				if _, err := miniqmc.FOM(sys, n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkTableVI_RIMP2(b *testing.B) {
+	systems := []topology.System{topology.Aurora, topology.Dawn, topology.JLSEH100}
+	for i := 0; i < b.N; i++ {
+		for _, sys := range systems {
+			node := topology.NewNode(sys)
+			for _, n := range []int{1, node.GPU.SubCount, node.TotalStacks()} {
+				if _, err := rimp2.FOM(sys, n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkTableVI_OpenMC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, sys := range topology.AllSystems() {
+			node := topology.NewNode(sys)
+			if _, err := openmc.FOM(sys, node.TotalStacks()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkTableVI_HACC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, sys := range topology.AllSystems() {
+			if _, err := hacc.FOM(sys); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Figures ---
+
+func BenchmarkFigure1_Lats(b *testing.B) {
+	study := core.NewStudy()
+	for i := 0; i < b.N; i++ {
+		if series := study.Figure1(); len(series) != 4 {
+			b.Fatal("wrong series count")
+		}
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	study := core.NewStudy()
+	for i := 0; i < b.N; i++ {
+		if _, err := study.Figure2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	study := core.NewStudy()
+	for i := 0; i < b.N; i++ {
+		for _, sys := range []topology.System{topology.Aurora, topology.Dawn} {
+			if _, err := study.Figure3(sys); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	study := core.NewStudy()
+	for i := 0; i < b.N; i++ {
+		for _, sys := range []topology.System{topology.Aurora, topology.Dawn} {
+			if _, err := study.Figure4(sys); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Real host kernels: actual throughput of the benchmark codes. ---
+
+func BenchmarkKernel_Triad(b *testing.B) {
+	n := 1 << 20
+	x := make([]float64, n)
+	y := make([]float64, n)
+	z := make([]float64, n)
+	for i := range y {
+		y[i], z[i] = float64(i), 1.0
+	}
+	b.SetBytes(int64(n) * kernels.TriadBytesPerElem)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := kernels.Triad(x, y, z, 3.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernel_FMAChain(b *testing.B) {
+	xs := make([]float64, 1024)
+	b.ResetTimer()
+	var flops int64
+	for i := 0; i < b.N; i++ {
+		flops = kernels.FMAChain64(xs, 0.999999, 1e-9, kernels.FMAChainDepth)
+	}
+	b.ReportMetric(float64(flops*int64(b.N))/b.Elapsed().Seconds()/1e9, "Gflop/s")
+}
+
+func BenchmarkKernel_DGEMM256(b *testing.B) {
+	const n = 256
+	a := make([]float64, n*n)
+	c := make([]float64, n*n)
+	for i := range a {
+		a[i] = float64(i%7) * 0.1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := kernels.MatMulParallel(n, n, n, a, a, c, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(kernels.GEMMFlops(n, n, n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "Gflop/s")
+}
+
+func BenchmarkKernel_FFT4096(b *testing.B) {
+	p, err := kernels.NewFFTPlan(4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]complex128, 4096)
+	for i := range x {
+		x[i] = complex(float64(i%13), float64(i%7))
+	}
+	out := make([]complex128, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Forward(out, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(kernels.FFTFlops(4096, false)*float64(b.N)/b.Elapsed().Seconds()/1e9, "Gflop/s")
+}
+
+func BenchmarkKernel_PointerChase(b *testing.B) {
+	r, err := mem.NewRing(1<<15, 64, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	sink := int32(0)
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Walk(1 << 15)
+	}
+	_ = sink
+}
+
+func BenchmarkKernel_CloverLeafStep(b *testing.B) {
+	s, err := cloverleaf.Sod(256, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step(0)
+	}
+	b.ReportMetric(float64(256*64*b.N)/b.Elapsed().Seconds()/1e6, "Mcells/s")
+}
+
+func BenchmarkKernel_Transport(b *testing.B) {
+	mat := openmc.TwoGroupFuel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := openmc.RunSlab(mat, 50, 1000, 10, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(1000*b.N)/b.Elapsed().Seconds()/1e3, "kparticles/s")
+}
+
+// --- Ablations (DESIGN.md §5): design choices isolated. ---
+
+// Ablation: the duplex constraint. Without it (DuplexFactor = 2) the
+// bidirectional PCIe benchmark would report ~2× the unidirectional
+// number instead of the measured 1.4×.
+func BenchmarkAblation_PCIeDuplexLimit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		real := microbench.NewSuite(topology.NewAurora())
+		bidir, err := real.PCIe(microbench.DirBidir, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ideal := topology.NewAurora()
+		ideal.GPU.HostLink.DuplexFactor = 2.0
+		suite := microbench.NewSuite(ideal)
+		bidirIdeal, err := suite.PCIe(microbench.DirBidir, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !(bidirIdeal > bidir*1.3) {
+			b.Fatalf("duplex ablation has no effect: %v vs %v", bidirIdeal, bidir)
+		}
+	}
+}
+
+// Ablation: host-side D2H pool. Without it, full-node D2H rises to the
+// sum of the per-card links (~324 GB/s, like H2D) instead of the
+// measured 264 GB/s host-sink limit.
+func BenchmarkAblation_HostPool(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		real := microbench.NewSuite(topology.NewAurora())
+		d2h, err := real.PCIe(microbench.DirD2H, 12)
+		if err != nil {
+			b.Fatal(err)
+		}
+		unlimited := topology.NewAurora()
+		unlimited.HostD2HPool = 10 * units.TBps
+		unlimited.HostBidirPool = 10 * units.TBps
+		suite := microbench.NewSuite(unlimited)
+		d2hIdeal, err := suite.PCIe(microbench.DirD2H, 12)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !(d2hIdeal > d2h*1.15) {
+			b.Fatalf("host pool ablation has no effect: %v vs %v", d2hIdeal, d2h)
+		}
+	}
+}
+
+// Ablation: TDP throttling. At a fixed 1.6 GHz the FP64 peak would be
+// ~23 TFlop/s per stack instead of the measured 17 — the FP32:FP64 ratio
+// collapses to 1.0.
+func BenchmarkAblation_TDPThrottle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		uncapped := topology.NewAurora()
+		uncapped.GPU.PowerCapW = 5000
+		s := microbench.NewSuite(uncapped)
+		fp64 := s.PeakFlops(microbench.FP64Chain, 1)
+		fp32 := s.PeakFlops(microbench.FP32Chain, 1)
+		if fp64/fp32 < 0.99 {
+			b.Fatalf("uncapped FP64/FP32 = %v, want ~1.0", fp64/fp32)
+		}
+		capped := microbench.NewSuite(topology.NewAurora())
+		if r := capped.PeakFlops(microbench.FP32Chain, 1) / capped.PeakFlops(microbench.FP64Chain, 1); r < 1.25 {
+			b.Fatalf("capped FP32/FP64 = %v, want ~1.33", r)
+		}
+	}
+}
+
+// Ablation: cache replacement policy. Strict LRU thrashes the cyclic
+// chase completely; random replacement retains the analytic hit rate.
+func BenchmarkAblation_CacheReplacement(b *testing.B) {
+	node := topology.NewAurora()
+	h := mem.NewHierarchy(&node.GPU.Sub)
+	for i := 0; i < b.N; i++ {
+		ring, err := mem.NewRing(16384, 64, 1) // 1 MiB = 2× L1
+		if err != nil {
+			b.Fatal(err)
+		}
+		lru := mem.SimulateChase(ring, mem.NewCacheSim(h, 16, mem.PolicyLRU), 1)
+		rnd := mem.SimulateChase(ring, mem.NewCacheSim(h, 16, mem.PolicyRandom), 1)
+		if !(rnd < lru) {
+			b.Fatalf("random (%v) should beat LRU (%v) on cyclic chase", rnd, lru)
+		}
+	}
+}
+
+// Ablation: miniQMC CPU-congestion term. Removing it (comparing against
+// linear scaling of the one-stack FOM) overpredicts the Aurora node by
+// >2×, which is exactly the gap the paper attributes to congestion.
+func BenchmarkAblation_QMCCongestion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		one, err := miniqmc.FOM(topology.Aurora, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		full, err := miniqmc.FOM(topology.Aurora, 12)
+		if err != nil {
+			b.Fatal(err)
+		}
+		linear := 12 * one
+		if !(linear > full*2) {
+			b.Fatalf("congestion ablation too weak: linear %v vs modeled %v", linear, full)
+		}
+	}
+}
+
+// Ablation: the L2-capacity mechanism in OpenMC. Shrinking PVC's 192 MiB
+// L2 to H100's 50 MiB erases most of its latency advantage.
+func BenchmarkAblation_OpenMCL2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		realLat := openmc.AccessLatencyNs(topology.Aurora)
+		shrunk := topology.NewAurora()
+		shrunk.GPU.Sub.Caches[1].Capacity = 50 * units.MB
+		h := mem.NewHierarchy(&shrunk.GPU.Sub)
+		cycles := h.AvgLatencyCycles(openmc.XSWorkingSet)
+		shrunkLat := cycles / 1.6 // ns at 1.6 GHz
+		if !(shrunkLat > realLat*1.2) {
+			b.Fatalf("L2 ablation too weak: %v vs %v ns", shrunkLat, realLat)
+		}
+	}
+}
+
+// Ablation: the expectation bars themselves — Figure 2's measured ratios
+// against the prediction, the paper's central claim that microbenchmarks
+// predict mini-app ratios.
+func BenchmarkAblation_BlackBarAccuracy(b *testing.B) {
+	study := core.NewStudy()
+	for i := 0; i < b.N; i++ {
+		chart, err := study.Figure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, bar := range chart.Bars {
+			if bar.Expected == 0 {
+				continue // miniQMC: no bar
+			}
+			rel := bar.Value/bar.Expected - 1
+			if rel < -0.25 || rel > 0.25 {
+				b.Fatalf("%s: measured %v vs expected %v", bar.Label, bar.Value, bar.Expected)
+			}
+		}
+	}
+}
+
+// Sanity: keep the expected package exercised through the harness too.
+func BenchmarkExpected_Predictor(b *testing.B) {
+	p := expected.NewPredictor()
+	for i := 0; i < b.N; i++ {
+		if _, ok := p.Ratio(paper.CloverLeaf, topology.Aurora, expected.PerGPU,
+			topology.JLSEH100, expected.PerGPU); !ok {
+			b.Fatal("no ratio")
+		}
+	}
+}
+
+// Sanity: governed clocks queried in a tight loop (the hot path of every
+// model evaluation).
+func BenchmarkPower_GovernedClocks(b *testing.B) {
+	study := core.NewStudy()
+	suite := study.Suite(topology.Aurora)
+	for i := 0; i < b.N; i++ {
+		if v := suite.PeakFlops(microbench.FP64Chain, 1); v < 16 || v > 18 {
+			b.Fatalf("FP64 peak drifted: %v", v)
+		}
+	}
+}
+
+var _ = hw.FP64 // keep hw imported for documentation parity
+
+// --- Extension kernels ---
+
+func BenchmarkKernel_BarnesHut(b *testing.B) {
+	s, err := hacc.NewRandomSystem(400, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.AccelerationsBH(0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernel_DirectNBody(b *testing.B) {
+	s, err := hacc.NewRandomSystem(400, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Accelerations()
+	}
+}
+
+func BenchmarkKernel_SPHStep(b *testing.B) {
+	sys, err := hacc.NewRandomSystem(216, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gas, err := hacc.NewGas(sys.Particles, 0.2, 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gas.Step(1e-5)
+	}
+}
+
+func BenchmarkKernel_Eigenvalue(b *testing.B) {
+	mat := openmc.TwoGroupFuel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := openmc.SolveEigenvalue(openmc.EigenvalueOptions{
+			Material: mat, Thickness: 100, Particles: 500, Inactive: 2, Active: 3, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernel_SplineVGL(b *testing.B) {
+	sp := miniqmc.ConstantSpline(24, 1.0)
+	b.ResetTimer()
+	sink := 0.0
+	for i := 0; i < b.N; i++ {
+		v := sp.EvalVGL(0.31, 0.42, 0.53)
+		sink += v.Laplacian
+	}
+	_ = sink
+}
+
+// Extension: the message-size sweep behind cmd/pvcbench -sweep.
+func BenchmarkExtension_P2PSweep(b *testing.B) {
+	s := microbench.NewSuite(topology.NewAurora())
+	sizes := []units.Bytes{64 * units.KB, 16 * units.MB}
+	for i := 0; i < b.N; i++ {
+		if _, err := s.P2PSweep(topology.LocalStack, sizes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Extension: energy-to-solution comparison across all systems.
+func BenchmarkExtension_Energy(b *testing.B) {
+	var models []*perfmodel.Model
+	for _, sys := range topology.AllSystems() {
+		models = append(models, perfmodel.New(topology.NewNode(sys)))
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := perfmodel.EnergyComparison(models, perfmodel.KindGEMM, hw.FP64, 1e16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

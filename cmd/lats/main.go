@@ -1,0 +1,98 @@
+// Command lats runs the memory-latency pointer-chase benchmark (§IV-A7)
+// across the simulated systems and regenerates Figure 1 as an aligned
+// table or CSV (the run_lats.sh workflow of the artifact).
+//
+// Usage:
+//
+//	lats [-csv] [-lo bytes] [-hi bytes] [-simulate footprint]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"pvcsim/internal/core"
+	"pvcsim/internal/microbench"
+	"pvcsim/internal/report"
+	"pvcsim/internal/topology"
+	"pvcsim/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lats: ")
+	csv := flag.Bool("csv", false, "emit CSV")
+	svg := flag.Bool("svg", false, "emit the figure as standalone SVG")
+	lo := flag.String("lo", "1 KiB", "sweep start footprint")
+	hi := flag.String("hi", "8 GB", "sweep end footprint")
+	simulate := flag.String("simulate", "", "cross-check one footprint with the execution-driven cache simulator")
+	flag.Parse()
+
+	loB, err := units.ParseBytes(*lo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hiB, err := units.ParseBytes(*hi)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *simulate != "" {
+		fp, err := units.ParseBytes(*simulate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, sys := range topology.AllSystems() {
+			s := microbench.NewSuite(topology.NewNode(sys))
+			got, err := s.LatsSimulated(fp, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			analytic := s.Lats(fp, fp)[0].Cycles
+			fmt.Printf("%-12s footprint %-10s simulated %7.1f cycles, analytic %7.1f cycles\n",
+				sys, fp, got, analytic)
+		}
+		return
+	}
+
+	study := core.NewStudy()
+	if *csv {
+		if err := study.LatsCSV(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *svg {
+		plot := report.NewSVGPlot("Figure 1: Memory Latency (coalesced pointer chase)",
+			"footprint [bytes, log2]", "latency [cycles]")
+		plot.LogX = true
+		plot.Series = study.Figure1()
+		if err := plot.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	t := report.NewTable("Figure 1: memory access latency [cycles] (coalesced pointer chase)",
+		"Footprint", "Aurora", "Dawn", "JLSE-H100", "JLSE-MI250", "Aurora level")
+	suites := map[topology.System]*microbench.Suite{}
+	for _, sys := range topology.AllSystems() {
+		suites[sys] = microbench.NewSuite(topology.NewNode(sys))
+	}
+	ref := suites[topology.Aurora].Lats(loB, hiB)
+	for i, pt := range ref {
+		row := []string{units.Bytes(pt.Footprint).IEC()}
+		for _, sys := range topology.AllSystems() {
+			pts := suites[sys].Lats(loB, hiB)
+			row = append(row, fmt.Sprintf("%.0f", pts[i].Cycles))
+		}
+		row = append(row, pt.Level)
+		t.AddRow(row...)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	_ = core.FigureBytes // referenced for doc symmetry
+}

@@ -1,0 +1,124 @@
+// Command miniapps evaluates the four mini-apps (miniBUDE, CloverLeaf,
+// miniQMC, mini-GAMESS) on the simulated systems and regenerates Table V,
+// the mini-app rows of Table VI, and Figures 2–4 with their expectation
+// ("black") bars.
+//
+// Usage:
+//
+//	miniapps [-table 5|6] [-figure 2|3|4] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"pvcsim/internal/core"
+	"pvcsim/internal/miniapps/minibude"
+	"pvcsim/internal/report"
+	"pvcsim/internal/topology"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("miniapps: ")
+	table := flag.Int("table", 0, "print one table (5 or 6); 0 = both")
+	figure := flag.Int("figure", 0, "print one figure (2, 3 or 4); 0 = all")
+	csv := flag.Bool("csv", false, "emit tables as CSV")
+	svg := flag.Bool("svg", false, "emit figures as standalone SVG instead of ASCII")
+	sweep := flag.Bool("sweep", false, "print the miniBUDE ppwi/work-group tuning surface and exit")
+	flag.Parse()
+
+	if *sweep {
+		printBUDESweep()
+		return
+	}
+
+	study := core.NewStudy()
+	emitTable := func(t *report.Table) {
+		var err error
+		if *csv {
+			err = t.CSV(os.Stdout)
+		} else {
+			err = t.Render(os.Stdout)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	emitChart := func(c *report.BarChart, err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *svg {
+			if err := report.NewSVGBarChart(c).Render(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+		if err := c.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+
+	wantTables := *figure == 0 || *table != 0
+	if wantTables && (*table == 0 || *table == 5) {
+		emitTable(study.TableV())
+	}
+	if wantTables && (*table == 0 || *table == 6) {
+		t, err := study.TableVI()
+		if err != nil {
+			log.Fatal(err)
+		}
+		emitTable(t)
+	}
+	if *table != 0 && *figure == 0 {
+		return
+	}
+	if *figure == 0 || *figure == 2 {
+		emitChart(study.Figure2())
+	}
+	if *figure == 0 || *figure == 3 {
+		for _, sys := range []topology.System{topology.Aurora, topology.Dawn} {
+			emitChart(study.Figure3(sys))
+		}
+	}
+	if *figure == 0 || *figure == 4 {
+		for _, sys := range []topology.System{topology.Aurora, topology.Dawn} {
+			emitChart(study.Figure4(sys))
+		}
+	}
+}
+
+// printBUDESweep renders the mechanistic tuning surface behind the
+// paper's "combination of poses per work-item (ppwi) and work-group
+// sizes" search, per system: the occupancy model's register cliff and
+// dispatch-tail effects made visible.
+func printBUDESweep() {
+	for _, sys := range []topology.System{topology.Aurora, topology.JLSEH100} {
+		best, sweep := minibude.FOM(sys)
+		t := report.NewTable(
+			fmt.Sprintf("miniBUDE tuning surface on %s (GInteractions/s; best %.1f)", sys, best),
+			"ppwi", "wg=64", "wg=128", "wg=256")
+		byPPWI := map[int]map[int]float64{}
+		for _, pt := range sweep {
+			if byPPWI[pt.PPWI] == nil {
+				byPPWI[pt.PPWI] = map[int]float64{}
+			}
+			byPPWI[pt.PPWI][pt.WGSize] = pt.GInterS
+		}
+		for _, ppwi := range []int{1, 2, 4, 8, 16} {
+			t.AddRow(fmt.Sprint(ppwi),
+				report.Num(byPPWI[ppwi][64]),
+				report.Num(byPPWI[ppwi][128]),
+				report.Num(byPPWI[ppwi][256]))
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,212 @@
+// Command pvcbench runs the microbenchmark suite on the simulated systems
+// and regenerates the paper's Tables I–IV (the run_table.sh workflow of
+// the artifact). It also executes the host self-checks proving the
+// benchmark kernels compute correct results.
+//
+// Usage:
+//
+//	pvcbench [-table N] [-system name] [-csv] [-experiments]
+//
+// With no flags it prints Tables I–IV for both PVC systems.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"pvcsim/internal/core"
+	"pvcsim/internal/hw"
+	"pvcsim/internal/microbench"
+	"pvcsim/internal/perfmodel"
+	"pvcsim/internal/report"
+	"pvcsim/internal/topology"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pvcbench: ")
+	table := flag.Int("table", 0, "print only one table (1-4); 0 = all")
+	system := flag.String("system", "", "restrict Table II to one system (aurora|dawn)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	experiments := flag.Bool("experiments", false, "emit the EXPERIMENTS.md fidelity report and exit")
+	skipCheck := flag.Bool("skip-selfcheck", false, "skip the host kernel self-checks")
+	sweep := flag.Bool("sweep", false, "emit the P2P message-size sweep (latency-bandwidth curves) and exit")
+	frontier := flag.Bool("frontier", false, "emit the Frontier future-work outlook and exit")
+	artifacts := flag.String("artifacts", "", "write the complete artifact (all tables, figures, EXPERIMENTS.md) into this directory and exit")
+	energy := flag.Bool("energy", false, "emit the energy-to-solution comparison and exit")
+	flag.Parse()
+
+	study := core.NewStudy()
+	if *experiments {
+		if err := study.WriteExperimentsMarkdown(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *frontier {
+		if err := study.FrontierOutlook().Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *artifacts != "" {
+		if err := study.WriteAllArtifacts(*artifacts); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("artifact written to %s\n", *artifacts)
+		return
+	}
+	if *sweep {
+		if err := printSweep(study); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *energy {
+		if err := printEnergy(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if !*skipCheck {
+		if err := microbench.HostSelfCheck(); err != nil {
+			log.Fatalf("host kernel self-check failed: %v", err)
+		}
+		fmt.Println("host kernel self-checks passed (triad, FMA chain, GEMM, FFT, I8 GEMM)")
+		fmt.Println()
+	}
+
+	systems := []topology.System{topology.Aurora, topology.Dawn}
+	if *system != "" {
+		sys, err := parseSystem(*system)
+		if err != nil {
+			log.Fatal(err)
+		}
+		systems = []topology.System{sys}
+	}
+
+	emit := func(t *report.Table) {
+		var err error
+		if *csv {
+			err = t.CSV(os.Stdout)
+		} else {
+			err = t.Render(os.Stdout)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+
+	if *table == 0 || *table == 1 {
+		emit(study.TableI())
+	}
+	if *table == 0 || *table == 2 {
+		for _, sys := range systems {
+			t, err := study.TableII(sys)
+			if err != nil {
+				log.Fatal(err)
+			}
+			emit(t)
+		}
+	}
+	if *table == 0 || *table == 3 {
+		t, err := study.TableIII()
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(t)
+	}
+	if *table == 0 || *table == 4 {
+		emit(study.TableIV())
+	}
+}
+
+// printSweep renders the Aurora latency-bandwidth curves for the three
+// D2D path kinds, the extension of Table III to small messages.
+func printSweep(study *core.Study) error {
+	suite := study.Suite(topology.Aurora)
+	t := report.NewTable("P2P message-size sweep (Aurora): bandwidth [GB/s] per path",
+		"Message", "Local (MDFI)", "Remote (Xe-Link)", "Remote extra-hop")
+	sizes := microbench.DefaultSweepSizes()
+	curves := map[string][]microbench.MsgSweepPoint{}
+	for _, k := range []struct {
+		name string
+		kind topology.PathKind
+	}{
+		{"local", topology.LocalStack},
+		{"remote", topology.RemoteDirect},
+		{"extra", topology.RemoteExtraHop},
+	} {
+		c, err := suite.P2PSweep(k.kind, sizes)
+		if err != nil {
+			return err
+		}
+		curves[k.name] = c
+	}
+	for i, sz := range sizes {
+		t.AddRow(sz.String(),
+			report.Num(float64(curves["local"][i].Bandwidth)/1e9),
+			report.Num(float64(curves["remote"][i].Bandwidth)/1e9),
+			report.Num(float64(curves["extra"][i].Bandwidth)/1e9))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	for _, name := range []string{"local", "remote", "extra"} {
+		if n12, err := microbench.HalfPeakSize(curves[name]); err == nil {
+			fmt.Printf("n_1/2 (%s): %v\n", name, n12)
+		}
+	}
+	return nil
+}
+
+// printEnergy renders the full-node energy-to-solution comparison for a
+// fixed DGEMM and FP32-FMA workload (the TDP discussion of §VII made
+// quantitative).
+func printEnergy() error {
+	var models []*perfmodel.Model
+	for _, sys := range topology.AllSystems() {
+		models = append(models, perfmodel.New(topology.NewNode(sys)))
+	}
+	t := report.NewTable("Energy to solution (full node, 10 Pflop of work)",
+		"System", "Workload", "Time", "Power [W]", "Energy [kJ]", "GFlop/W")
+	for _, spec := range []struct {
+		name string
+		kind perfmodel.Kind
+		prec hw.Precision
+	}{
+		{"DGEMM", perfmodel.KindGEMM, hw.FP64},
+		{"FP32 FMA", perfmodel.KindPeakFlops, hw.FP32},
+	} {
+		out, err := perfmodel.EnergyComparison(models, spec.kind, spec.prec, 1e16)
+		if err != nil {
+			return err
+		}
+		for _, m := range models {
+			rep := out[m.Node.Name]
+			t.AddRow(m.Node.Name, spec.name, rep.Time.String(),
+				report.Num(rep.PowerW), report.Num(rep.EnergyJ/1e3),
+				report.Num(rep.OpsPerWatt/1e9))
+		}
+	}
+	return t.Render(os.Stdout)
+}
+
+func parseSystem(s string) (topology.System, error) {
+	switch s {
+	case "aurora":
+		return topology.Aurora, nil
+	case "dawn":
+		return topology.Dawn, nil
+	case "h100":
+		return topology.JLSEH100, nil
+	case "mi250":
+		return topology.JLSEMI250, nil
+	default:
+		return 0, fmt.Errorf("unknown system %q (want aurora|dawn|h100|mi250)", s)
+	}
+}

@@ -1,0 +1,91 @@
+// Customnode: define a hypothetical system — an eight-PVC node with a
+// beefier host ("Aurora++") — and rerun the microbenchmark suite on it.
+// This is the what-if workflow the simulator enables beyond reproducing
+// the paper: node-design questions like "does a 33% denser GPU node keep
+// scaling?" answered with the same models.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pvcsim/internal/hw"
+	"pvcsim/internal/microbench"
+	"pvcsim/internal/paper"
+	"pvcsim/internal/topology"
+	"pvcsim/internal/units"
+)
+
+// buildPlanes wires an alternating two-plane Xe-Link table for n cards,
+// the same pattern as Aurora's.
+func buildPlanes(n int) [][]topology.StackID {
+	planes := make([][]topology.StackID, 2)
+	for g := 0; g < n; g++ {
+		a, b := g%2, 1-g%2 // alternate stack-to-plane assignment per card
+		planes[0] = append(planes[0], topology.StackID{GPU: g, Stack: a})
+		planes[1] = append(planes[1], topology.StackID{GPU: g, Stack: b})
+	}
+	return planes
+}
+
+func main() {
+	log.SetFlags(0)
+
+	// Eight Dawn-style PVC cards (full 64 Xe-Cores, 600 W) on a node with
+	// generous host pools and four planes' worth of Xe-Link wiring.
+	node := &topology.NodeSpec{
+		System: topology.Aurora, // reuse Aurora calibration variant
+		Name:   "Aurora++ (hypothetical 8x PVC)",
+		CPU: topology.CPUSpec{
+			Model:          "Hypothetical 64c host",
+			Sockets:        2,
+			CoresPerSocket: 64,
+			ThreadsPerCore: 2,
+			DDR:            2048 * units.GB,
+			MemBWPerSocket: 350 * units.GBps,
+		},
+		GPU:           hw.NewDawnPVC(),
+		GPUCount:      8,
+		HostH2DPool:   450 * units.GBps,
+		HostD2HPool:   350 * units.GBps,
+		HostBidirPool: 500 * units.GBps,
+		Planes:        buildPlanes(8),
+	}
+	if err := node.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	suite := microbench.NewSuite(node)
+	fmt.Printf("=== %s: %d ranks in explicit scaling ===\n\n", node.Name, node.TotalStacks())
+
+	for _, m := range []paper.Metric{paper.FP64Peak, paper.TriadBW, paper.PCIeH2D, paper.PCIeD2H, paper.DGEMM} {
+		v, err := suite.Run(m, paper.FullNode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-32s full node: %8.1f\n", m, v)
+	}
+
+	// The design question: with 16 stacks reading back at once, does the
+	// host D2H pool become the wall the way Aurora's did?
+	d2hOne, err := suite.PCIe(microbench.DirD2H, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d2hAll, err := suite.PCIe(microbench.DirD2H, node.TotalStacks())
+	if err != nil {
+		log.Fatal(err)
+	}
+	eff := d2hAll / (d2hOne * float64(node.TotalStacks()))
+	fmt.Printf("\nD2H scaling: one stack %.0f GB/s, 16 stacks %.0f GB/s aggregate -> %.0f%% efficiency\n",
+		d2hOne, d2hAll, eff*100)
+	fmt.Println("(Aurora measured 40% at 12 stacks; denser nodes need proportionally bigger host sinks.)")
+
+	// And the P2P fabric at 8 pairs.
+	p2p, err := suite.P2P()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Local stack pairs: one %.0f GB/s, all %d pairs %.0f GB/s\n",
+		p2p.LocalUniOne, node.GPUCount, p2p.LocalUniAll)
+}

@@ -1,0 +1,57 @@
+// Projection: use the paper's black-bar methodology (internal/expected)
+// to predict how a new application would compare across the four systems
+// from nothing but its bound resource — the §V workflow application
+// developers are meant to follow with the microbenchmark results.
+//
+// The example projects two hypothetical codes: a memory-bandwidth-bound
+// stencil (CloverLeaf-like) and an FP32-compute-bound particle code
+// (miniBUDE-like), at GPU and node granularity.
+package main
+
+import (
+	"fmt"
+
+	"pvcsim/internal/expected"
+	"pvcsim/internal/paper"
+	"pvcsim/internal/topology"
+)
+
+func main() {
+	p := expected.NewPredictor()
+
+	fmt.Println("Projected relative performance vs JLSE-H100 (black-bar methodology)")
+	fmt.Println()
+	codes := []struct {
+		name  string
+		proxy paper.Workload // carries the bound resource
+	}{
+		{"bandwidth-bound stencil (CloverLeaf-like)", paper.CloverLeaf},
+		{"FP32-bound particle code (miniBUDE-like)", paper.MiniBUDE},
+		{"DGEMM-bound solver (RI-MP2-like)", paper.MiniGAMESS},
+	}
+	for _, code := range codes {
+		fmt.Printf("%s  [bound: %v]\n", code.name, expected.BoundResource(code.proxy))
+		for _, sys := range []topology.System{topology.Aurora, topology.Dawn, topology.JLSEMI250} {
+			gpu, okG := p.Ratio(code.proxy, sys, expected.PerGPU, topology.JLSEH100, expected.PerGPU)
+			node, okN := p.Ratio(code.proxy, sys, expected.PerNode, topology.JLSEH100, expected.PerNode)
+			if !okG || !okN {
+				continue
+			}
+			verdict := "slower than"
+			if node > 1 {
+				verdict = "faster than"
+			}
+			fmt.Printf("  %-12s one GPU %.2fx, full node %.2fx H100 (%s an H100 node)\n",
+				sys, gpu, node, verdict)
+		}
+		fmt.Println()
+	}
+
+	// The paper's caveat, demonstrated: miniQMC has no projection because
+	// its bottleneck (CPU congestion) is not a microbenchmark.
+	if _, ok := p.Ratio(paper.MiniQMC, topology.Aurora, expected.PerNode,
+		topology.JLSEH100, expected.PerNode); !ok {
+		fmt.Println("miniQMC-like codes: no projection — the CPU-congestion bottleneck")
+		fmt.Println("is not captured by any single-feature microbenchmark (§V-B4).")
+	}
+}

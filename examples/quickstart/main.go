@@ -1,0 +1,72 @@
+// Quickstart: simulate a STREAM triad and a DGEMM on one Aurora PVC and
+// print the achieved figures, then cross-check the triad kernel on the
+// host. This is the smallest end-to-end use of the pvcsim API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pvcsim/internal/gpusim"
+	"pvcsim/internal/hw"
+	"pvcsim/internal/kernels"
+	"pvcsim/internal/perfmodel"
+	"pvcsim/internal/sim"
+	"pvcsim/internal/topology"
+	"pvcsim/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Run the real triad kernel on the host to see the code computes.
+	n := 1 << 20
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	for i := range b {
+		b[i], c[i] = float64(i), float64(n-i)
+	}
+	if err := kernels.TriadParallel(a, b, c, 2.0, 0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("host triad: a[42] = %.0f (expected %d)\n", a[42], 42+2*(n-42))
+
+	// 2. Build the simulated Aurora node and launch the paper's triad on
+	// both stacks of one PVC.
+	machine, err := gpusim.New(topology.NewAurora())
+	if err != nil {
+		log.Fatal(err)
+	}
+	triad := perfmodel.Profile{
+		Name:     "triad",
+		MemBytes: 3 * 805 * units.MB, // two loads + one store of 805 MB
+		Kind:     perfmodel.KindStream,
+	}
+	var makespan units.Seconds
+	for _, id := range []topology.StackID{{GPU: 0, Stack: 0}, {GPU: 0, Stack: 1}} {
+		st, err := machine.Stack(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		machine.Go("triad", func(p *sim.Proc) {
+			st.LaunchKernel(p, triad)
+			if p.Now() > makespan {
+				makespan = p.Now()
+			}
+		})
+	}
+	if err := machine.Run(); err != nil {
+		log.Fatal(err)
+	}
+	bw := units.BandwidthOf(2*triad.MemBytes, makespan)
+	fmt.Printf("one PVC triad: %v (paper: 2 TB/s)\n", bw)
+
+	// 3. Ask the performance model for the sustained DGEMM rate at the
+	// paper's N = 20480.
+	model := perfmodel.New(topology.NewAurora())
+	rate := model.SustainedRate(perfmodel.KindGEMM, hw.FP64)
+	flops := kernels.GEMMFlops(20480, 20480, 20480)
+	fmt.Printf("one stack DGEMM: %s, N=20480 in %v (paper: 13 TFlop/s)\n",
+		rate.Flops(), units.TimeToCompute(flops, rate))
+}

@@ -1,0 +1,3 @@
+module pvcsim
+
+go 1.22

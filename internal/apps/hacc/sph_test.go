@@ -1,0 +1,149 @@
+package hacc
+
+import (
+	"math"
+	"testing"
+)
+
+// uniformGasLattice builds an n³ lattice of unit-total-mass gas in the
+// unit box.
+func uniformGasLattice(n int, u0 float64) *Gas {
+	var parts []Particle
+	mass := 1.0 / float64(n*n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				parts = append(parts, Particle{
+					X:    (float64(i) + 0.5) / float64(n),
+					Y:    (float64(j) + 0.5) / float64(n),
+					Z:    (float64(k) + 0.5) / float64(n),
+					Mass: mass,
+				})
+			}
+		}
+	}
+	g, _ := NewGas(parts, 1.6/float64(n), u0)
+	return g
+}
+
+func TestNewGasValidation(t *testing.T) {
+	if _, err := NewGas(nil, 0.1, 1); err == nil {
+		t.Error("empty gas should fail")
+	}
+	p := []Particle{{Mass: 1}}
+	if _, err := NewGas(p, 0, 1); err == nil {
+		t.Error("zero h should fail")
+	}
+	if _, err := NewGas(p, 0.1, 0); err == nil {
+		t.Error("zero energy should fail")
+	}
+}
+
+func TestKernelGradProperties(t *testing.T) {
+	const h = 0.3
+	// Gradient is negative (kernel decreases) inside the support and
+	// zero outside.
+	for _, r := range []float64{0.05, 0.2, 0.45} {
+		if g := kernelGradMag(r, h); g >= 0 {
+			t.Errorf("grad at r=%v should be negative, got %v", r, g)
+		}
+	}
+	if kernelGradMag(2*h, h) != 0 || kernelGradMag(1, h) != 0 {
+		t.Error("gradient must vanish beyond 2h")
+	}
+	if kernelGradMag(0, h) != 0 {
+		t.Error("gradient at r=0 is zero by symmetry")
+	}
+	// Consistency with the kernel: finite difference of W matches.
+	const dr = 1e-7
+	for _, r := range []float64{0.1, 0.35, 0.5} {
+		fd := (CubicSplineKernel(r+dr, h) - CubicSplineKernel(r-dr, h)) / (2 * dr)
+		got := kernelGradMag(r, h)
+		if math.Abs(got-fd) > 1e-5*(1+math.Abs(fd)) {
+			t.Errorf("r=%v: grad %v vs FD %v", r, got, fd)
+		}
+	}
+}
+
+// The symmetric pressure force conserves momentum exactly.
+func TestSPHMomentumConservation(t *testing.T) {
+	g := uniformGasLattice(5, 1.0)
+	// Perturb velocities to make it dynamic.
+	for i := range g.Parts {
+		g.Parts[i].VX = 0.01 * math.Sin(float64(i))
+	}
+	m0 := g.Momentum()
+	for s := 0; s < 10; s++ {
+		g.Step(1e-4)
+	}
+	m1 := g.Momentum()
+	for d := 0; d < 3; d++ {
+		if math.Abs(m1[d]-m0[d]) > 1e-13 {
+			t.Errorf("momentum[%d] drift %v", d, m1[d]-m0[d])
+		}
+	}
+}
+
+// Total (kinetic + thermal) energy is conserved to integrator order.
+func TestSPHEnergyConservation(t *testing.T) {
+	g := uniformGasLattice(5, 1.0)
+	for i := range g.Parts {
+		g.Parts[i].VX = 0.05 * math.Cos(float64(i))
+	}
+	e0 := g.TotalEnergy()
+	for s := 0; s < 50; s++ {
+		g.Step(5e-5)
+	}
+	e1 := g.TotalEnergy()
+	if rel := math.Abs(e1-e0) / e0; rel > 0.01 {
+		t.Errorf("energy drift %.3f%%", rel*100)
+	}
+}
+
+// An isolated blob of hot gas expands: particles accelerate outward from
+// the center of mass.
+func TestHotBlobExpands(t *testing.T) {
+	g := uniformGasLattice(4, 10.0)
+	// Radial speed before (zero) and after a few steps.
+	for s := 0; s < 5; s++ {
+		g.Step(1e-4)
+	}
+	outward := 0
+	for _, p := range g.Parts {
+		rx, ry, rz := p.X-0.5, p.Y-0.5, p.Z-0.5
+		if rx*p.VX+ry*p.VY+rz*p.VZ > 0 {
+			outward++
+		}
+	}
+	// The interior corner/edge particles all accelerate outward; allow a
+	// few stragglers at dead center.
+	if outward < len(g.Parts)*3/4 {
+		t.Errorf("only %d of %d particles moving outward", outward, len(g.Parts))
+	}
+	// Expansion cools the gas (adiabatic): thermal energy decreases,
+	// kinetic rises.
+	thermal := 0.0
+	for i, p := range g.Parts {
+		thermal += p.Mass * g.U[i]
+	}
+	if thermal >= 10.0 { // initial total thermal = Σm·u0 = 10
+		t.Errorf("thermal energy %v should drop as the blob expands", thermal)
+	}
+}
+
+// Pressures follow the adiabatic EOS.
+func TestPressureEOS(t *testing.T) {
+	g := uniformGasLattice(4, 2.0)
+	rho := SPHDensity(g.Parts, g.H)
+	p := g.Pressures(rho)
+	for i := range p {
+		want := (GasGamma - 1) * rho[i] * 2.0
+		if math.Abs(p[i]-want) > 1e-12 {
+			t.Fatalf("pressure %d = %v, want %v", i, p[i], want)
+		}
+	}
+	cs := g.SoundSpeed(rho, 0)
+	if cs <= 0 || math.IsNaN(cs) {
+		t.Errorf("sound speed = %v", cs)
+	}
+}

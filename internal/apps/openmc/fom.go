@@ -1,0 +1,56 @@
+package openmc
+
+import (
+	"fmt"
+
+	"pvcsim/internal/hw"
+	"pvcsim/internal/mem"
+	"pvcsim/internal/power"
+	"pvcsim/internal/topology"
+	"pvcsim/internal/units"
+)
+
+// XSWorkingSet is the cross-section data footprint of the depleted-fuel
+// SMR benchmark: hundreds of nuclides × pointwise energy grids land at a
+// few hundred MB of latency-bound random lookups per particle.
+const XSWorkingSet = 300 * units.MB
+
+// concurrencyK converts core count over access latency into particle
+// throughput: kparticles/s = K × eff × cores / latency_ns. It is
+// calibrated once, on Aurora (169.9 kp/s per stack, 56 Xe-Cores, 396 ns
+// effective XS access latency).
+const concurrencyK = 1201.0
+
+// softwareEff captures the relative maturity of OpenMC's OpenMP-offload
+// path per platform (§VI-B1 reports PVC performing far above the others).
+var softwareEff = map[topology.System]float64{
+	topology.Aurora:    1.00,
+	topology.Dawn:      1.00,
+	topology.JLSEH100:  0.623,
+	topology.JLSEMI250: 0.239,
+}
+
+// AccessLatencyNs returns the effective cross-section lookup latency on
+// one subdevice: the cache-ladder expectation over the XS working set,
+// divided by the memory-bound operating clock. PVC's 192 MiB per-stack
+// L2 holds ~42% of a 300 MB working set; H100's 50 MB and the MI250's
+// 8 MB hold essentially none — the mechanism behind Table VI's OpenMC
+// column.
+func AccessLatencyNs(sys topology.System) float64 {
+	node := topology.NewNode(sys)
+	h := mem.NewHierarchy(&node.GPU.Sub)
+	cycles := h.AvgLatencyCycles(XSWorkingSet)
+	clock := power.NewGovernor(node.GPU).OperatingClock(hw.MemoryBound)
+	return cycles / (float64(clock) / 1e9)
+}
+
+// FOM returns the OpenMC figure of merit — thousand particles per second
+// in the active phase — on n subdevices of the system.
+func FOM(sys topology.System, n int) (float64, error) {
+	node := topology.NewNode(sys)
+	if n < 1 || n > node.TotalStacks() {
+		return 0, fmt.Errorf("openmc: %s supports 1..%d ranks, got %d", node.Name, node.TotalStacks(), n)
+	}
+	perSub := concurrencyK * softwareEff[sys] * float64(node.GPU.Sub.CoreCount) / AccessLatencyNs(sys)
+	return perSub * float64(n), nil
+}

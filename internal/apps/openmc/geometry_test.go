@@ -1,0 +1,150 @@
+package openmc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGeometryValidation(t *testing.T) {
+	if _, err := NewGeometry(nil); err == nil {
+		t.Error("empty geometry should fail")
+	}
+	if _, err := NewGeometry([]Region{{Name: "bad", Material: TwoGroupFuel(), Width: -1}}); err == nil {
+		t.Error("negative width should fail")
+	}
+	badMat := TwoGroupFuel()
+	badMat.Total[0] = 99
+	if _, err := NewGeometry([]Region{{Name: "bad", Material: badMat, Width: 1}}); err == nil {
+		t.Error("invalid material should fail")
+	}
+	one := &Material{Groups: 1, Total: []float64{1}, Scatter: [][]float64{{0.5}}, Absorb: []float64{0.5}, NuFiss: []float64{0}}
+	if _, err := NewGeometry([]Region{
+		{Name: "a", Material: TwoGroupFuel(), Width: 1},
+		{Name: "b", Material: one, Width: 1},
+	}); err == nil {
+		t.Error("mismatched group counts should fail")
+	}
+	g, err := NewGeometry([]Region{
+		{Name: "fuel", Material: TwoGroupFuel(), Width: 10},
+		{Name: "mod", Material: Moderator(), Width: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Thickness() != 15 {
+		t.Errorf("thickness = %v", g.Thickness())
+	}
+	if g.regionAt(3) != 0 || g.regionAt(12) != 1 || g.regionAt(99) != 1 {
+		t.Error("region lookup wrong")
+	}
+}
+
+func TestRunHeteroConservation(t *testing.T) {
+	g, _ := NewGeometry([]Region{
+		{Name: "fuel", Material: TwoGroupFuel(), Width: 20},
+		{Name: "mod", Material: Moderator(), Width: 10},
+	})
+	res, err := RunHetero(g, 5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Absorbed+res.Leaked != res.Histories {
+		t.Errorf("absorbed %d + leaked %d != %d", res.Absorbed, res.Leaked, res.Histories)
+	}
+	totalAbs := 0
+	for _, a := range res.RegionAbsorb {
+		totalAbs += a
+	}
+	if totalAbs != res.Absorbed {
+		t.Errorf("per-region absorptions %d != total %d", totalAbs, res.Absorbed)
+	}
+	if _, err := RunHetero(g, 0, 1); err == nil {
+		t.Error("zero histories should fail")
+	}
+}
+
+// A single-region heterogeneous slab agrees with the homogeneous RunSlab
+// transport (same physics, different code path).
+func TestHeteroMatchesHomogeneous(t *testing.T) {
+	mat := TwoGroupFuel()
+	g, _ := NewGeometry([]Region{{Name: "fuel", Material: mat, Width: 2000}})
+	het, err := RunHetero(g, 20000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := KInfinity(mat)
+	if math.Abs(het.KEstimate-want) > 0.03*want {
+		t.Errorf("hetero thick slab k = %v, analytic %v", het.KEstimate, want)
+	}
+}
+
+// A control-rod region depresses the flux: per-cm flux inside the
+// absorber is far below the fuel's.
+func TestControlRodFluxDepression(t *testing.T) {
+	g, _ := NewGeometry([]Region{
+		{Name: "fuel-left", Material: TwoGroupFuel(), Width: 15},
+		{Name: "rod", Material: StrongAbsorber(), Width: 3},
+		{Name: "fuel-right", Material: TwoGroupFuel(), Width: 15},
+	})
+	res, err := RunHetero(g, 30000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fluxPerCm := func(i int) float64 { return res.RegionFlux[i] / g.Regions[i].Width }
+	if !(fluxPerCm(1) < fluxPerCm(0)/2) {
+		t.Errorf("rod flux %v should be well below fuel flux %v", fluxPerCm(1), fluxPerCm(0))
+	}
+	// The rod, 10% of the volume, soaks up a disproportionate share of
+	// absorptions.
+	rodShare := float64(res.RegionAbsorb[1]) / float64(res.Absorbed)
+	if rodShare < 0.15 {
+		t.Errorf("rod absorption share = %.2f, want well above its 9%% volume", rodShare)
+	}
+	// Source is on the left: right fuel region sees less flux.
+	if !(fluxPerCm(2) < fluxPerCm(0)) {
+		t.Error("shadowed fuel should see less flux than the source region")
+	}
+}
+
+// A moderator reflector on both sides returns leaking neutrons: the
+// production estimate rises versus the bare slab.
+func TestReflectorGain(t *testing.T) {
+	fuel := TwoGroupFuel()
+	bareGeom, _ := NewGeometry([]Region{{Name: "fuel", Material: fuel, Width: 8}})
+	bare, err := RunHetero(bareGeom, 30000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The source always starts in the first region, so keep the fuel
+	// first and reflect the right side — the comparison isolates the
+	// reflector's effect.
+	reflGeom, _ := NewGeometry([]Region{
+		{Name: "fuel", Material: fuel, Width: 8},
+		{Name: "refl-r", Material: Moderator(), Width: 10},
+	})
+	refl, err := RunHetero(reflGeom, 30000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(refl.KEstimate > bare.KEstimate) {
+		t.Errorf("reflected k %v should exceed bare k %v", refl.KEstimate, bare.KEstimate)
+	}
+	// And far fewer neutrons leak.
+	bareLeak := float64(bare.Leaked) / float64(bare.Histories)
+	reflLeak := float64(refl.Leaked) / float64(refl.Histories)
+	if !(reflLeak < bareLeak) {
+		t.Errorf("reflected leakage %v should be below bare %v", reflLeak, bareLeak)
+	}
+}
+
+func TestRunHeteroDeterministic(t *testing.T) {
+	g, _ := NewGeometry([]Region{
+		{Name: "fuel", Material: TwoGroupFuel(), Width: 10},
+		{Name: "mod", Material: Moderator(), Width: 5},
+	})
+	a, _ := RunHetero(g, 2000, 7)
+	b, _ := RunHetero(g, 2000, 7)
+	if a.KEstimate != b.KEstimate || a.Leaked != b.Leaked {
+		t.Error("same seed must give identical results")
+	}
+}

@@ -1,0 +1,191 @@
+package openmc
+
+import (
+	"math"
+	"testing"
+
+	"pvcsim/internal/topology"
+)
+
+func TestMaterialValidation(t *testing.T) {
+	m := TwoGroupFuel()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := TwoGroupFuel()
+	bad.Total[0] = 0.5 // breaks Σt = Σa + Σs
+	if err := bad.Validate(); err == nil {
+		t.Error("inconsistent totals should fail")
+	}
+	bad2 := TwoGroupFuel()
+	bad2.Absorb = bad2.Absorb[:1]
+	if err := bad2.Validate(); err == nil {
+		t.Error("wrong array length should fail")
+	}
+	bad3 := TwoGroupFuel()
+	bad3.Scatter[0][1] = -0.1
+	if err := bad3.Validate(); err == nil {
+		t.Error("negative scatter should fail")
+	}
+	if err := (&Material{}).Validate(); err == nil {
+		t.Error("empty material should fail")
+	}
+}
+
+func TestKInfinityAnalytic(t *testing.T) {
+	m := TwoGroupFuel()
+	k, err := KInfinity(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct computation: φ0 = 1/(0.30−0.24) = 16.667, φ1 = 0.03·φ0/0.2
+	// = 2.5; k = (0.015·16.667 + 0.35·2.5)/(0.03·16.667 + 0.20·2.5) = 1.125.
+	if math.Abs(k-1.125) > 1e-12 {
+		t.Errorf("k∞ = %v, want 1.125", k)
+	}
+	one := &Material{Groups: 1, Total: []float64{1}, Scatter: [][]float64{{0.5}}, Absorb: []float64{0.5}, NuFiss: []float64{0.6}}
+	if _, err := KInfinity(one); err == nil {
+		t.Error("non-2-group should report unimplemented")
+	}
+}
+
+// A very thick slab approaches the infinite medium: the Monte Carlo
+// k-estimate converges to the analytic k∞.
+func TestThickSlabApproachesKInfinity(t *testing.T) {
+	m := TwoGroupFuel()
+	res, err := RunSlab(m, 2000, 20000, 10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := KInfinity(m)
+	if math.Abs(res.KEstimate-want) > 0.03*want {
+		t.Errorf("thick-slab k = %v, want ~%v", res.KEstimate, want)
+	}
+	// Leakage negligible.
+	if float64(res.Leaked)/float64(res.Histories) > 0.02 {
+		t.Errorf("thick slab leaked %d of %d", res.Leaked, res.Histories)
+	}
+}
+
+// Particle conservation: every history ends absorbed or leaked.
+func TestParticleConservation(t *testing.T) {
+	res, err := RunSlab(TwoGroupFuel(), 10, 5000, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Absorbed+res.Leaked != res.Histories {
+		t.Errorf("absorbed %d + leaked %d != histories %d", res.Absorbed, res.Leaked, res.Histories)
+	}
+	if res.Collisions <= 0 {
+		t.Error("no collisions recorded")
+	}
+}
+
+// A thin slab leaks most particles; leakage decreases with thickness.
+func TestLeakageDecreasesWithThickness(t *testing.T) {
+	m := TwoGroupFuel()
+	thin, _ := RunSlab(m, 0.5, 5000, 4, 3)
+	thick, _ := RunSlab(m, 50, 5000, 4, 3)
+	fThin := float64(thin.Leaked) / float64(thin.Histories)
+	fThick := float64(thick.Leaked) / float64(thick.Histories)
+	if !(fThin > 0.7) {
+		t.Errorf("thin slab leakage = %v, want > 0.7", fThin)
+	}
+	if !(fThick < fThin/3) {
+		t.Errorf("thick slab leakage %v should be far below thin %v", fThick, fThin)
+	}
+}
+
+// Flux symmetry: with a uniform source the track-length flux profile is
+// symmetric about the slab center within statistics.
+func TestFluxSymmetry(t *testing.T) {
+	res, err := RunSlab(TwoGroupFuel(), 20, 40000, 10, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(res.FluxTally)
+	for i := 0; i < n/2; i++ {
+		a, b := res.FluxTally[i], res.FluxTally[n-1-i]
+		if math.Abs(a-b)/math.Max(a, b) > 0.10 {
+			t.Errorf("flux asymmetry bin %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestRunSlabValidation(t *testing.T) {
+	m := TwoGroupFuel()
+	if _, err := RunSlab(m, -1, 100, 4, 1); err == nil {
+		t.Error("negative thickness should fail")
+	}
+	if _, err := RunSlab(m, 1, 0, 4, 1); err == nil {
+		t.Error("zero histories should fail")
+	}
+	bad := TwoGroupFuel()
+	bad.Total[1] = 0
+	if _, err := RunSlab(bad, 1, 10, 4, 1); err == nil {
+		t.Error("invalid material should fail")
+	}
+}
+
+func TestRunSlabDeterministic(t *testing.T) {
+	m := TwoGroupFuel()
+	a, _ := RunSlab(m, 10, 2000, 4, 5)
+	b, _ := RunSlab(m, 10, 2000, 4, 5)
+	if a.Absorbed != b.Absorbed || a.Leaked != b.Leaked || a.KEstimate != b.KEstimate {
+		t.Error("same seed must give identical results")
+	}
+}
+
+// The latency mechanism: PVC's large L2 gives it a *lower* effective XS
+// access latency than H100 and MI250 despite its higher raw HBM latency.
+func TestPVCEffectiveLatencyAdvantage(t *testing.T) {
+	pvc := AccessLatencyNs(topology.Aurora)
+	h100 := AccessLatencyNs(topology.JLSEH100)
+	mi := AccessLatencyNs(topology.JLSEMI250)
+	if !(pvc > 300 && pvc < 450) {
+		t.Errorf("PVC effective latency = %v ns, want ~396", pvc)
+	}
+	if !(h100 > 300 && h100 < 360) {
+		t.Errorf("H100 effective latency = %v ns", h100)
+	}
+	if !(mi > 300 && mi < 360) {
+		t.Errorf("MI250 effective latency = %v ns", mi)
+	}
+}
+
+// Table VI: OpenMC full-node FOMs within 10%, and the 1.7× Aurora/H100
+// headline.
+func TestFOMTableVI(t *testing.T) {
+	cases := []struct {
+		sys  topology.System
+		n    int
+		want float64
+	}{
+		{topology.Aurora, 12, 2039},
+		{topology.JLSEH100, 4, 1191},
+		{topology.JLSEMI250, 8, 720},
+	}
+	for _, c := range cases {
+		got, err := FOM(c.sys, c.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(got-c.want) / c.want; rel > 0.10 {
+			t.Errorf("%v n=%d: FOM %.0f, paper %.0f (%.1f%% off)", c.sys, c.n, got, c.want, rel*100)
+		}
+	}
+	a, _ := FOM(topology.Aurora, 12)
+	h, _ := FOM(topology.JLSEH100, 4)
+	if ratio := a / h; math.Abs(ratio-1.7) > 0.15 {
+		t.Errorf("Aurora/H100 = %.2f, paper ~1.7", ratio)
+	}
+}
+
+func TestFOMValidation(t *testing.T) {
+	if _, err := FOM(topology.Aurora, 0); err == nil {
+		t.Error("0 ranks should fail")
+	}
+	if _, err := FOM(topology.Aurora, 13); err == nil {
+		t.Error("13 ranks should fail")
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteAllArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStudy()
+	if err := s.WriteAllArtifacts(dir); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"table1.txt",
+		"table2_aurora.txt", "table2_aurora.csv",
+		"table2_dawn.txt", "table2_dawn.csv",
+		"table3.txt", "table3.csv",
+		"table4.txt", "table5.txt",
+		"table6.txt", "table6.csv",
+		"figure1.csv", "figure1.svg",
+		"figure2.txt", "figure2.svg",
+		"figure3_aurora.txt", "figure3_dawn.txt", "figure3_aurora.svg",
+		"figure4_aurora.txt", "figure4_dawn.txt", "figure4_dawn.svg",
+		"EXPERIMENTS.md",
+	}
+	for _, name := range want {
+		info, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("missing artifact %s: %v", name, err)
+			continue
+		}
+		if info.Size() == 0 {
+			t.Errorf("artifact %s is empty", name)
+		}
+	}
+	// Spot-check contents.
+	b, err := os.ReadFile(filepath.Join(dir, "table2_aurora.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "DGEMM") {
+		t.Error("table2 missing DGEMM row")
+	}
+	svg, err := os.ReadFile(filepath.Join(dir, "figure1.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(svg), "<svg") {
+		t.Error("figure1.svg is not SVG")
+	}
+	exp, err := os.ReadFile(filepath.Join(dir, "EXPERIMENTS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(exp), "Worst relative error") {
+		t.Error("EXPERIMENTS.md incomplete")
+	}
+}
+
+func TestWriteAllArtifactsBadDir(t *testing.T) {
+	s := NewStudy()
+	// A path under an existing *file* cannot be created.
+	f := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteAllArtifacts(filepath.Join(f, "sub")); err == nil {
+		t.Error("uncreatable dir should fail")
+	}
+}

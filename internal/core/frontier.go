@@ -1,0 +1,75 @@
+package core
+
+import (
+	"pvcsim/internal/hw"
+	"pvcsim/internal/microbench"
+	"pvcsim/internal/paper"
+	"pvcsim/internal/perfmodel"
+	"pvcsim/internal/report"
+	"pvcsim/internal/topology"
+	"pvcsim/internal/units"
+)
+
+// FrontierOutlook realizes the paper's §VII future work — "compare
+// mini-apps and applications on other supercomputing systems such as
+// Frontier against Dawn and Aurora" — at the bound-resource level: the
+// Frontier node model's capabilities side by side with the PVC systems,
+// with the per-workload expected ratios that a Frontier follow-up study
+// would test. It also quantifies the §V-B4 observation that the MI250X's
+// "50% higher Flop/s for GEMMs and 30% higher memory bandwidth" per GCD
+// do not automatically translate into mini-app wins.
+func (s *Study) FrontierOutlook() *report.Table {
+	frontier := perfmodel.New(topology.NewFrontier())
+	fSuite := microbench.NewSuite(topology.NewFrontier())
+	t := report.NewTable("Frontier outlook (§VII future work): bound resources vs PVC systems",
+		"Resource", "Frontier GCD", "Aurora Stack", "Dawn Stack", "Frontier/Aurora", "Frontier node/Aurora node")
+	type row struct {
+		name               string
+		fr, aurora, dawn   float64
+		frNode, auroraNode float64
+	}
+	aurora := s.suites[topology.Aurora].Model
+	dawn := s.suites[topology.Dawn].Model
+	rows := []row{
+		{
+			name:       "DGEMM [TFlop/s]",
+			fr:         tflop(frontier.SustainedRate(perfmodel.KindGEMM, hw.FP64)),
+			aurora:     tflop(aurora.SustainedRate(perfmodel.KindGEMM, hw.FP64)),
+			dawn:       tflop(dawn.SustainedRate(perfmodel.KindGEMM, hw.FP64)),
+			frNode:     tflop(frontier.AggregateRate(perfmodel.KindGEMM, hw.FP64, 8)),
+			auroraNode: tflop(aurora.AggregateRate(perfmodel.KindGEMM, hw.FP64, 12)),
+		},
+		{
+			name:       "FP32 peak [TFlop/s]",
+			fr:         tflop(frontier.VectorRate(perfmodel.KindPeakFlops, hw.FP32)),
+			aurora:     tflop(aurora.VectorRate(perfmodel.KindPeakFlops, hw.FP32)),
+			dawn:       tflop(dawn.VectorRate(perfmodel.KindPeakFlops, hw.FP32)),
+			frNode:     tflop(frontier.AggregateVectorRate(perfmodel.KindPeakFlops, hw.FP32, 8)),
+			auroraNode: tflop(aurora.AggregateVectorRate(perfmodel.KindPeakFlops, hw.FP32, 12)),
+		},
+		{
+			name:       "Triad bandwidth [TB/s]",
+			fr:         float64(frontier.MemBandwidth(1)) / 1e12,
+			aurora:     float64(aurora.MemBandwidth(1)) / 1e12,
+			dawn:       float64(dawn.MemBandwidth(1)) / 1e12,
+			frNode:     float64(frontier.MemBandwidth(8)) / 1e12,
+			auroraNode: float64(aurora.MemBandwidth(12)) / 1e12,
+		},
+	}
+	for _, r := range rows {
+		t.AddRow(r.name, report.Num(r.fr), report.Num(r.aurora), report.Num(r.dawn),
+			report.Num(r.fr/r.aurora), report.Num(r.frNode/r.auroraNode))
+	}
+	// Fabric rows come from the simulated P2P benchmark on the Frontier
+	// node versus Aurora's Table III results.
+	fp2p, err := fSuite.P2P()
+	if err == nil {
+		ap2p := paper.TableIII[topology.Aurora]
+		t.AddRow("GCD-GCD / stack-stack [GB/s]", report.Num(fp2p.LocalUniOne),
+			report.Num(ap2p.LocalUniOne), report.Num(ap2p.LocalUniOne),
+			report.Num(fp2p.LocalUniOne/ap2p.LocalUniOne), "-")
+	}
+	return t
+}
+
+func tflop(r units.Rate) float64 { return float64(r) / 1e12 }

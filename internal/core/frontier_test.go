@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pvcsim/internal/hw"
+	"pvcsim/internal/perfmodel"
+	"pvcsim/internal/topology"
+)
+
+func TestFrontierNodeValidates(t *testing.T) {
+	n := topology.NewFrontier()
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if n.TotalStacks() != 8 {
+		t.Errorf("Frontier ranks = %d, want 8 GCDs", n.TotalStacks())
+	}
+	if n.CPU.Sockets != 1 {
+		t.Error("Frontier has a single CPU socket")
+	}
+	if topology.Frontier.String() != "Frontier" {
+		t.Error("system name")
+	}
+	if topology.NewNode(topology.Frontier) == nil {
+		t.Error("NewNode(Frontier) should work")
+	}
+}
+
+// Table IV measured values for the MI250X GCD: DGEMM 24.1 TF, SGEMM 33.8
+// TF, 1.3 TB/s triad, 37 GB/s GCD-GCD, 25 GB/s PCIe.
+func TestMI250XTableIVValues(t *testing.T) {
+	m := perfmodel.New(topology.NewFrontier())
+	if got := float64(m.SustainedRate(perfmodel.KindGEMM, hw.FP64)) / 1e12; math.Abs(got-24.1)/24.1 > 0.02 {
+		t.Errorf("MI250X GCD DGEMM = %.1f, want 24.1", got)
+	}
+	if got := float64(m.SustainedRate(perfmodel.KindGEMM, hw.FP32)) / 1e12; math.Abs(got-33.8)/33.8 > 0.02 {
+		t.Errorf("MI250X GCD SGEMM = %.1f, want 33.8", got)
+	}
+	if got := float64(m.MemBandwidth(1)) / 1e12; math.Abs(got-1.3) > 0.01 {
+		t.Errorf("MI250X GCD triad = %.2f, want 1.3", got)
+	}
+	dev := hw.NewMI250X()
+	if got := float64(dev.InternalLink.Sustained()) / 1e9; math.Abs(got-37) > 1 {
+		t.Errorf("GCD-GCD = %.0f, want 37", got)
+	}
+	if got := float64(dev.HostLink.Sustained()) / 1e9; math.Abs(got-25) > 0.5 {
+		t.Errorf("PCIe = %.0f, want 25", got)
+	}
+	// "48 Tflop/s per GCD" theoretical matrix FP64 (§IV-B5).
+	if got := dev.Sub.PeakRate(hw.MatrixEngine, hw.FP64, 1.7e9); math.Abs(float64(got)-47.9e12)/47.9e12 > 0.01 {
+		t.Errorf("MI250X GCD matrix FP64 peak = %v, want ~48 TF", got)
+	}
+}
+
+// The §V-B4 statements the future-work study would start from: the
+// MI250x GCD's GEMM is ~50% faster than a PVC stack and its bandwidth 30%
+// higher.
+func TestPaperStatedMI250XAdvantages(t *testing.T) {
+	fr := perfmodel.New(topology.NewFrontier())
+	aurora := perfmodel.New(topology.NewAurora())
+	gemmRatio := float64(fr.SustainedRate(perfmodel.KindGEMM, hw.FP64)) /
+		float64(aurora.SustainedRate(perfmodel.KindGEMM, hw.FP64))
+	if gemmRatio < 1.4 || gemmRatio > 2.0 {
+		t.Errorf("MI250X/PVC GEMM ratio = %.2f, want ~1.5-1.9", gemmRatio)
+	}
+	bwRatio := float64(fr.MemBandwidth(1)) / float64(aurora.MemBandwidth(1))
+	if math.Abs(bwRatio-1.3) > 0.01 {
+		t.Errorf("bandwidth ratio = %.2f, want 1.3", bwRatio)
+	}
+	// Yet the GEMM *efficiency* is lower: 50% vs PVC's ~80% (§IV-B5).
+	frEff := 0.503
+	pvcEff := 0.76
+	if frEff >= pvcEff {
+		t.Error("MI250X GEMM efficiency should be below PVC's")
+	}
+}
+
+func TestFrontierOutlookTable(t *testing.T) {
+	s := NewStudy()
+	tb := s.FrontierOutlook()
+	if len(tb.Rows) < 4 {
+		t.Fatalf("outlook rows = %d", len(tb.Rows))
+	}
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"DGEMM", "Triad", "Frontier/Aurora"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("outlook missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,262 @@
+// Package gpusim assembles a runnable simulated node: the discrete-event
+// engine, the fabric network for every interconnect (per-card PCIe with
+// host-side pools, stack-to-stack MDFI, Xe-Link/NVLink/IF peer links), and
+// the performance model for kernel launches. Microbenchmarks and mini-apps
+// drive it exactly like a GPU runtime: processes launch kernels on stacks
+// and issue memcpys, and virtual time advances accordingly.
+package gpusim
+
+import (
+	"fmt"
+
+	"pvcsim/internal/fabric"
+	"pvcsim/internal/perfmodel"
+	"pvcsim/internal/sim"
+	"pvcsim/internal/topology"
+	"pvcsim/internal/units"
+)
+
+// Machine is one simulated node.
+type Machine struct {
+	Eng   *sim.Engine
+	Net   *fabric.Network
+	Node  *topology.NodeSpec
+	Model *perfmodel.Model
+
+	cards     []*card
+	poolH2D   *fabric.Constraint
+	poolD2H   *fabric.Constraint
+	poolBidir *fabric.Constraint
+	peerLinks map[stackPair]*fabric.Link
+	queues    map[topology.StackID]*sim.Resource
+	rec       *Recorder
+}
+
+// stackPair is an unordered pair of subdevices keyed canonically.
+type stackPair struct {
+	a, b topology.StackID
+}
+
+func pairKey(a, b topology.StackID) stackPair {
+	if a.GPU > b.GPU || (a.GPU == b.GPU && a.Stack > b.Stack) {
+		a, b = b, a
+	}
+	return stackPair{a, b}
+}
+
+type card struct {
+	pcie     *fabric.Link
+	internal *fabric.Link // stack-to-stack, nil when SubCount == 1
+}
+
+// New builds a machine for the node.
+func New(node *topology.NodeSpec) (*Machine, error) {
+	if err := node.Validate(); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	net := fabric.NewNetwork(eng)
+	m := &Machine{
+		Eng:       eng,
+		Net:       net,
+		Node:      node,
+		Model:     perfmodel.New(node),
+		peerLinks: map[stackPair]*fabric.Link{},
+		queues:    map[topology.StackID]*sim.Resource{},
+	}
+	m.poolH2D = net.MustConstraint("host/h2d-pool", node.HostH2DPool)
+	m.poolD2H = net.MustConstraint("host/d2h-pool", node.HostD2HPool)
+	m.poolBidir = net.MustConstraint("host/bidir-pool", node.HostBidirPool)
+	gpu := node.GPU
+	for i := 0; i < node.GPUCount; i++ {
+		c := &card{
+			pcie: fabric.NewLink(net, fmt.Sprintf("card%d/pcie", i),
+				gpu.HostLink.Sustained(), gpu.HostLink.DuplexFactor, gpu.HostLink.Latency),
+		}
+		if gpu.SubCount > 1 {
+			c.internal = fabric.NewLink(net, fmt.Sprintf("card%d/internal", i),
+				gpu.InternalLink.Sustained(), gpu.InternalLink.DuplexFactor, gpu.InternalLink.Latency)
+		}
+		m.cards = append(m.cards, c)
+	}
+	return m, nil
+}
+
+// MustNew is New for the standard nodes, panicking on misconfiguration.
+func MustNew(node *topology.NodeSpec) *Machine {
+	m, err := New(node)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// peerLink lazily creates the inter-card path between two subdevices.
+// Xe-Link (and its NVLink/IF counterparts) provides a distinct port per
+// stack pair: six disjoint remote stack pairs on Aurora each sustain the
+// full per-pair bandwidth (Table III: 95 ≈ 6 × 15 GB/s).
+func (m *Machine) peerLink(a, b topology.StackID) *fabric.Link {
+	key := pairKey(a, b)
+	if l, ok := m.peerLinks[key]; ok {
+		return l
+	}
+	spec := m.Node.GPU.PeerLink
+	l := fabric.NewLink(m.Net, fmt.Sprintf("peer%v-%v", key.a, key.b),
+		spec.Sustained(), spec.DuplexFactor, spec.Latency)
+	m.peerLinks[key] = l
+	return l
+}
+
+// Stack is a handle to one subdevice.
+type Stack struct {
+	m  *Machine
+	ID topology.StackID
+}
+
+// Stack returns the handle for a subdevice.
+func (m *Machine) Stack(id topology.StackID) (*Stack, error) {
+	if id.GPU < 0 || id.GPU >= m.Node.GPUCount || id.Stack < 0 || id.Stack >= m.Node.GPU.SubCount {
+		return nil, fmt.Errorf("gpusim: no stack %v on %s", id, m.Node.Name)
+	}
+	return &Stack{m: m, ID: id}, nil
+}
+
+// Stacks returns handles for every subdevice in rank order.
+func (m *Machine) Stacks() []*Stack {
+	var out []*Stack
+	for _, id := range m.Node.Subdevices() {
+		out = append(out, &Stack{m: m, ID: id})
+	}
+	return out
+}
+
+// queue returns the stack's in-order compute queue (created lazily).
+func (s *Stack) queue() *sim.Resource {
+	q, ok := s.m.queues[s.ID]
+	if !ok {
+		q = sim.NewResource(s.m.Eng, "queue:"+s.ID.String(), 1)
+		s.m.queues[s.ID] = q
+	}
+	return q
+}
+
+// LaunchKernel blocks the process for the modeled execution time of the
+// profile on this stack. Kernels on the same stack serialize through its
+// in-order compute queue, as on real hardware: two processes launching on
+// one stack take the sum of their kernel times, not the max.
+func (s *Stack) LaunchKernel(p *sim.Proc, prof perfmodel.Profile) {
+	q := s.queue()
+	q.Acquire(p)
+	start := p.Now()
+	p.Hold(s.m.Model.SubdeviceTime(prof))
+	s.m.record(prof.Name, "kernel", s.ID, start, p.Now(), prof.MemBytes)
+	q.Release()
+}
+
+// Hold blocks the process for a fixed duration on this stack (CPU-side or
+// fixed-cost phases).
+func (s *Stack) Hold(p *sim.Proc, d units.Seconds) { p.Hold(d) }
+
+// MemcpyH2D transfers size bytes from pinned host memory to the stack.
+// Both stacks of a card share its single PCIe link ("Only the first
+// Xe-Stack contains the PCIe link"), and all cards share the host pools.
+func (s *Stack) MemcpyH2D(p *sim.Proc, size units.Bytes) {
+	c := s.m.cards[s.ID.GPU]
+	cs := append(c.pcie.Dir(false), s.m.poolH2D, s.m.poolBidir)
+	start := p.Now()
+	s.m.Net.Transfer(p, fmt.Sprintf("h2d:%v", s.ID), size, c.pcie.Latency, cs...)
+	s.m.record("memcpy", "h2d", s.ID, start, p.Now(), size)
+}
+
+// MemcpyD2H transfers size bytes from the stack to pinned host memory.
+func (s *Stack) MemcpyD2H(p *sim.Proc, size units.Bytes) {
+	c := s.m.cards[s.ID.GPU]
+	cs := append(c.pcie.Dir(true), s.m.poolD2H, s.m.poolBidir)
+	start := p.Now()
+	s.m.Net.Transfer(p, fmt.Sprintf("d2h:%v", s.ID), size, c.pcie.Latency, cs...)
+	s.m.record("memcpy", "d2h", s.ID, start, p.Now(), size)
+}
+
+// MemcpyD2D transfers size bytes from this stack to dst, routed per the
+// node topology: the in-card MDFI path for sibling stacks, one Xe-Link
+// (or NVLink/IF) hop for plane-aligned remote stacks, and an extra
+// internal hop — with its latency and bandwidth cost — for cross-plane
+// pairs (§IV-A4).
+func (s *Stack) MemcpyD2D(p *sim.Proc, dst topology.StackID, size units.Bytes) error {
+	kind := s.m.Node.Route(s.ID, dst)
+	switch kind {
+	case topology.SameStack:
+		// Local copy at memory bandwidth: two passes (read + write).
+		t := units.TimeToMove(2*size, units.ByteRate(float64(s.m.Node.GPU.Sub.MemBWSustained)))
+		p.Hold(t)
+		return nil
+	case topology.LocalStack:
+		c := s.m.cards[s.ID.GPU]
+		if c.internal == nil {
+			return fmt.Errorf("gpusim: %s has no internal link", s.m.Node.Name)
+		}
+		rev := s.ID.Stack > dst.Stack
+		s.m.Net.Transfer(p, fmt.Sprintf("d2d:%v->%v", s.ID, dst), size, c.internal.Latency, c.internal.Dir(rev)...)
+		return nil
+	case topology.RemoteDirect, topology.RemoteExtraHop:
+		link := s.m.peerLink(s.ID, dst)
+		rev := s.ID.GPU > dst.GPU
+		cs := link.Dir(rev)
+		latency := link.Latency
+		if kind == topology.RemoteExtraHop {
+			// The driver routes via a partner stack: add the internal
+			// hop's latency and consume its bandwidth too.
+			c := s.m.cards[s.ID.GPU]
+			if c.internal != nil {
+				cs = append(cs, c.internal.Dir(s.ID.Stack > 0)...)
+				latency += c.internal.Latency
+			}
+		}
+		s.m.Net.Transfer(p, fmt.Sprintf("d2d:%v->%v", s.ID, dst), size, latency, cs...)
+		return nil
+	default:
+		return fmt.Errorf("gpusim: unroutable path %v -> %v", s.ID, dst)
+	}
+}
+
+// StartD2D begins a non-blocking device-to-device transfer and returns its
+// flow; the caller waits with Flow.Wait. It underlies MPI_Isend/Irecv of
+// device buffers in the mpirt package.
+func (s *Stack) StartD2D(dst topology.StackID, size units.Bytes) (*fabric.Flow, error) {
+	kind := s.m.Node.Route(s.ID, dst)
+	switch kind {
+	case topology.SameStack:
+		t := units.TimeToMove(2*size, units.ByteRate(float64(s.m.Node.GPU.Sub.MemBWSustained)))
+		return s.m.Net.Start(fmt.Sprintf("d2d:%v", s.ID), 0, t), nil
+	case topology.LocalStack:
+		c := s.m.cards[s.ID.GPU]
+		if c.internal == nil {
+			return nil, fmt.Errorf("gpusim: %s has no internal link", s.m.Node.Name)
+		}
+		rev := s.ID.Stack > dst.Stack
+		return s.m.Net.Start(fmt.Sprintf("d2d:%v->%v", s.ID, dst), size, c.internal.Latency, c.internal.Dir(rev)...), nil
+	case topology.RemoteDirect, topology.RemoteExtraHop:
+		link := s.m.peerLink(s.ID, dst)
+		rev := s.ID.GPU > dst.GPU
+		cs := link.Dir(rev)
+		latency := link.Latency
+		if kind == topology.RemoteExtraHop {
+			c := s.m.cards[s.ID.GPU]
+			if c.internal != nil {
+				cs = append(cs, c.internal.Dir(s.ID.Stack > 0)...)
+				latency += c.internal.Latency
+			}
+		}
+		return s.m.Net.Start(fmt.Sprintf("d2d:%v->%v", s.ID, dst), size, latency, cs...), nil
+	default:
+		return nil, fmt.Errorf("gpusim: unroutable path %v -> %v", s.ID, dst)
+	}
+}
+
+// Run drives the simulation to completion.
+func (m *Machine) Run() error { return m.Eng.Run() }
+
+// Go starts a process on the machine's engine.
+func (m *Machine) Go(name string, body func(*sim.Proc)) *sim.Proc {
+	return m.Eng.Go(name, body)
+}

@@ -1,0 +1,103 @@
+package gpusim
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"pvcsim/internal/perfmodel"
+	"pvcsim/internal/sim"
+	"pvcsim/internal/topology"
+	"pvcsim/internal/units"
+)
+
+func TestRecorderCapturesTimeline(t *testing.T) {
+	m := MustNew(topology.NewAurora())
+	rec := NewRecorder()
+	m.SetRecorder(rec)
+	if m.Recorder() != rec {
+		t.Fatal("recorder accessor")
+	}
+	st, _ := m.Stack(topology.StackID{})
+	prof := perfmodel.Profile{Name: "triad", MemBytes: units.Bytes(2.4e9), Kind: perfmodel.KindStream}
+	m.Go("work", func(p *sim.Proc) {
+		st.MemcpyH2D(p, 500*units.MB)
+		st.LaunchKernel(p, prof)
+		st.MemcpyD2H(p, 500*units.MB)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	evs := rec.Events()
+	if len(evs) != 3 {
+		t.Fatalf("events = %d, want 3", len(evs))
+	}
+	kinds := []string{"h2d", "kernel", "d2h"}
+	for i, e := range evs {
+		if e.Kind != kinds[i] {
+			t.Errorf("event %d kind = %s, want %s", i, e.Kind, kinds[i])
+		}
+		if e.End <= e.Start {
+			t.Errorf("event %d has non-positive duration", i)
+		}
+	}
+	// Sequential ops do not overlap.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Start < evs[i-1].End {
+			t.Errorf("event %d overlaps previous", i)
+		}
+	}
+	if rec.Len() != 3 {
+		t.Error("Len")
+	}
+	busy := rec.BusyTime()
+	if busy[topology.StackID{}] <= 0 {
+		t.Error("busy time missing")
+	}
+}
+
+func TestRecorderDisabledByDefault(t *testing.T) {
+	m := MustNew(topology.NewAurora())
+	st, _ := m.Stack(topology.StackID{})
+	m.Go("work", func(p *sim.Proc) { st.MemcpyH2D(p, 1*units.MB) })
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Recorder() != nil {
+		t.Error("recorder should default to nil")
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	m := MustNew(topology.NewDawn())
+	rec := NewRecorder()
+	m.SetRecorder(rec)
+	for _, st := range m.Stacks()[:4] {
+		s := st
+		m.Go("k", func(p *sim.Proc) {
+			s.LaunchKernel(p, perfmodel.Profile{Name: "fma", Flops: 1e12, Kind: perfmodel.KindPeakFlops})
+		})
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := rec.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(parsed) != 4 {
+		t.Fatalf("trace events = %d", len(parsed))
+	}
+	if parsed[0]["ph"] != "X" || parsed[0]["name"] != "fma" {
+		t.Errorf("trace format: %v", parsed[0])
+	}
+	// Summary renders one line per active stack.
+	sum := rec.Summary(1)
+	if strings.Count(sum, "busy") != 4 {
+		t.Errorf("summary:\n%s", sum)
+	}
+}

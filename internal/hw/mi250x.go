@@ -1,0 +1,75 @@
+package hw
+
+import "pvcsim/internal/units"
+
+// NewMI250X builds the AMD Instinct MI250X model used in Frontier nodes —
+// the paper's stated future-work comparison target (§VII). Peaks follow
+// the vendor sheet ([32]: 47.9 TFlop/s vector FP64/FP32 per card, 95.7
+// matrix, i.e. "48 Tflop/s per GCD" matrix double precision), sustained
+// values follow the Frontier measurements the paper quotes in Table IV
+// (1.3 TB/s per GCD triad, 25 GB/s PCIe, 37 GB/s GCD-to-GCD).
+func NewMI250X() *DeviceSpec {
+	const cusPerGCD = 110
+	sub := SubdeviceSpec{
+		Name:      "GCD",
+		CoreCount: cusPerGCD,
+		VectorOpsPerClockPerCore: map[Precision]float64{
+			// 23.95 TF per GCD / (1.7 GHz × 110 CU) = 128 flops/clock/CU.
+			FP64: 128,
+			FP32: 128,
+			FP16: 512,
+		},
+		MatrixOpsPerClockPerCore: map[Precision]float64{
+			FP64: 256, // "48 Tflop/s per GCD" at 1.7 GHz
+			FP32: 256,
+			FP16: 2048, // 383 TF card
+			BF16: 2048,
+			I8:   2048,
+		},
+		Memory:           64 * units.GB,
+		MemBWTheoretical: 1.6 * units.TBps,
+		MemBWSustained:   1.3 * units.TBps, // "matching the expected 80% of the theoretical peak"
+		Caches: []CacheLevel{
+			{Name: "L1", Capacity: 16 * units.KiB, LatencyCycles: 124},
+			{Name: "L2", Capacity: 8 * units.MiB, LatencyCycles: 219},
+			{Name: "HBM", Capacity: 64 * units.GB, LatencyCycles: 563},
+		},
+	}
+	return &DeviceSpec{
+		Name:     "AMD Instinct MI250X (Frontier)",
+		Vendor:   "AMD",
+		Sub:      sub,
+		SubCount: 2,
+		Power: PowerModel{
+			MaxClock:  1.7 * units.GHz,
+			IdleClock: 0,
+			IdleW:     60,
+			CoreDynW:  0.35,
+			Weights: map[WorkloadClass]float64{
+				VectorFP64: 1.0, VectorFP32: 0.7, MatrixLow: 1.1, MemoryBound: 0.3,
+			},
+		},
+		PowerCapW: 560,
+		HostLink: LinkSpec{
+			Name:         "PCIe Gen4 ESM x16",
+			Raw:          32 * units.GBps,
+			Efficiency:   0.78, // 25 GB/s measured (Table IV)
+			DuplexFactor: 1.7,
+			Latency:      2.5 * units.Microsecond,
+		},
+		InternalLink: LinkSpec{
+			Name:         "Infinity Fabric (in-package)",
+			Raw:          200 * units.GBps,
+			Efficiency:   0.185, // 37 GB/s measured MPI-visible (Table IV)
+			DuplexFactor: 1.8,
+			Latency:      1 * units.Microsecond,
+		},
+		PeerLink: LinkSpec{
+			Name:         "Infinity Fabric (card-to-card)",
+			Raw:          100 * units.GBps,
+			Efficiency:   0.37,
+			DuplexFactor: 1.8,
+			Latency:      1.3 * units.Microsecond,
+		},
+	}
+}

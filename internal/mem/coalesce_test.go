@@ -1,0 +1,79 @@
+package mem
+
+import (
+	"math"
+	"testing"
+
+	"pvcsim/internal/units"
+)
+
+func TestTransactionsPerAccess(t *testing.T) {
+	// 16 packed 4-byte elements = 64 bytes = one line.
+	n, err := TransactionsPerAccess(16, 4, 4, 64)
+	if err != nil || n != 1 {
+		t.Errorf("packed FP32 sub-group = %d transactions, %v", n, err)
+	}
+	// Stride of a full line: every lane its own line.
+	n, _ = TransactionsPerAccess(16, 4, 64, 64)
+	if n != 16 {
+		t.Errorf("line-strided = %d, want 16", n)
+	}
+	// 8-byte stride with 4-byte elements: 128 bytes = 2 lines.
+	n, _ = TransactionsPerAccess(16, 4, 8, 64)
+	if n != 2 {
+		t.Errorf("2x-strided = %d, want 2", n)
+	}
+	// 8-byte elements packed: 128 bytes = 2 lines.
+	n, _ = TransactionsPerAccess(16, 8, 8, 64)
+	if n != 2 {
+		t.Errorf("packed FP64 = %d, want 2", n)
+	}
+	// Misuse: stride below element size clamps to packed.
+	n, _ = TransactionsPerAccess(16, 8, 1, 64)
+	if n != 2 {
+		t.Errorf("clamped stride = %d, want 2", n)
+	}
+	if _, err := TransactionsPerAccess(0, 4, 4, 64); err == nil {
+		t.Error("zero width should fail")
+	}
+	if _, err := TransactionsPerAccess(16, 0, 4, 64); err == nil {
+		t.Error("zero element should fail")
+	}
+}
+
+func TestCoalescingEfficiency(t *testing.T) {
+	eff, err := CoalescingEfficiency(16, 4, 4, 64)
+	if err != nil || eff != 1.0 {
+		t.Errorf("packed efficiency = %v, %v", eff, err)
+	}
+	eff, _ = CoalescingEfficiency(16, 4, 64, 64)
+	if math.Abs(eff-1.0/16) > 1e-12 {
+		t.Errorf("scattered efficiency = %v, want 1/16", eff)
+	}
+	// Efficiency is non-increasing in stride.
+	prev := 2.0
+	for _, s := range []units.Bytes{4, 8, 16, 32, 64, 128} {
+		e, err := CoalescingEfficiency(16, 4, s, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e > prev+1e-12 {
+			t.Fatalf("efficiency increased at stride %v", s)
+		}
+		prev = e
+	}
+}
+
+func TestEffectiveBandwidth(t *testing.T) {
+	// Fully scattered FP32 on PVC: 1 TB/s → 62.5 GB/s.
+	bw, err := EffectiveBandwidth(1*units.TBps, SubGroupWidth, 4, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(bw)-62.5e9) > 1e6 {
+		t.Errorf("scattered effective BW = %v, want 62.5 GB/s", bw)
+	}
+	if _, err := EffectiveBandwidth(1, 0, 4, 4, 64); err == nil {
+		t.Error("invalid pattern should fail")
+	}
+}

@@ -1,0 +1,78 @@
+package microbench
+
+import (
+	"testing"
+
+	"pvcsim/internal/topology"
+)
+
+func TestPeakFlopsSweepShape(t *testing.T) {
+	s := NewSuite(topology.NewAurora())
+	curve, err := s.PeakFlopsSweep(FP64Chain, DefaultChainWorks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 8 {
+		t.Fatalf("points = %d", len(curve))
+	}
+	// Fraction of peak is nondecreasing with work and approaches 1.
+	prev := 0.0
+	for _, pt := range curve {
+		if pt.Fraction < prev-1e-9 {
+			t.Fatalf("fraction not monotone at work %v", pt.Work)
+		}
+		prev = pt.Fraction
+	}
+	if last := curve[len(curve)-1]; last.Fraction < 0.99 {
+		t.Errorf("largest launch reaches only %.1f%% of peak", last.Fraction*100)
+	}
+	// The smallest launch is dominated by the 10 µs launch overhead:
+	// 1e6 flops at 17 TF would take 59 ns, so fraction ≈ 59ns/10µs.
+	if first := curve[0]; first.Fraction > 0.05 {
+		t.Errorf("tiny launch fraction = %.3f, should be launch-bound", first.Fraction)
+	}
+}
+
+func TestKneeWork(t *testing.T) {
+	s := NewSuite(topology.NewAurora())
+	curve, err := s.PeakFlopsSweep(FP32Chain, DefaultChainWorks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	knee, err := KneeWork(curve, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 90% of peak needs work ≥ 9×launch×rate ≈ 9×10µs×22.7TF ≈ 2e9;
+	// the decade grid lands on 1e10.
+	if knee < 1e9 || knee > 1e11 {
+		t.Errorf("knee = %v, want ~1e10", knee)
+	}
+	if _, err := KneeWork(nil, 0.5); err == nil {
+		t.Error("empty curve should fail")
+	}
+	if _, err := KneeWork(curve[:1], 0.99); err == nil {
+		t.Error("unreachable fraction should fail")
+	}
+}
+
+func TestPeakFlopsSweepValidation(t *testing.T) {
+	s := NewSuite(topology.NewAurora())
+	if _, err := s.PeakFlopsSweep(FP64Chain, []float64{-1}); err == nil {
+		t.Error("negative work should fail")
+	}
+}
+
+// The paper's actual benchmark sits far beyond the knee: a full-stack
+// launch of 16×128 FMAs per work-item across 448 vector engines × 16
+// lanes ≈ 1.5e8 flops per wave, repeated to saturation.
+func TestPaperKernelBeyondKnee(t *testing.T) {
+	s := NewSuite(topology.NewAurora())
+	curve, err := s.PeakFlopsSweep(FP64Chain, []float64{1e12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if curve[0].Fraction < 0.98 {
+		t.Errorf("1e12-flop launch fraction = %.3f", curve[0].Fraction)
+	}
+}

@@ -1,0 +1,116 @@
+package microbench
+
+import (
+	"math"
+	"testing"
+
+	"pvcsim/internal/topology"
+	"pvcsim/internal/units"
+)
+
+func TestP2PSweepLocalCurve(t *testing.T) {
+	s := NewSuite(topology.NewAurora())
+	curve, err := s.P2PSweep(topology.LocalStack, DefaultSweepSizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) < 8 {
+		t.Fatalf("sweep points = %d", len(curve))
+	}
+	// Bandwidth is nondecreasing with message size (latency amortizes).
+	prev := units.ByteRate(0)
+	for _, pt := range curve {
+		if pt.Bandwidth < prev {
+			t.Fatalf("bandwidth not monotone at %v: %v < %v", pt.Size, pt.Bandwidth, prev)
+		}
+		prev = pt.Bandwidth
+	}
+	// The asymptote approaches the MDFI sustained rate (197 GB/s).
+	last := curve[len(curve)-1]
+	if math.Abs(float64(last.Bandwidth)-197e9)/197e9 > 0.03 {
+		t.Errorf("asymptotic bandwidth = %v, want ~197 GB/s", last.Bandwidth)
+	}
+	// The smallest message is latency-dominated: time ≈ the 0.8 µs MDFI
+	// latency.
+	first := curve[0]
+	if float64(first.Time) < 0.8e-6 || float64(first.Time) > 1.0e-6 {
+		t.Errorf("1 KB message time = %v, want ~0.8 µs", first.Time)
+	}
+}
+
+func TestP2PSweepRemoteSlower(t *testing.T) {
+	s := NewSuite(topology.NewAurora())
+	sizes := []units.Bytes{1 * units.MB, 64 * units.MB}
+	local, err := s.P2PSweep(topology.LocalStack, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := s.P2PSweep(topology.RemoteDirect, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sizes {
+		if !(remote[i].Bandwidth < local[i].Bandwidth) {
+			t.Errorf("size %v: remote %v should be slower than local %v",
+				sizes[i], remote[i].Bandwidth, local[i].Bandwidth)
+		}
+	}
+}
+
+// The extra-hop path pays additional latency visible at small sizes but
+// converges to the same bandwidth at large sizes.
+func TestP2PSweepExtraHop(t *testing.T) {
+	s := NewSuite(topology.NewAurora())
+	sizes := []units.Bytes{4 * units.KB, 256 * units.MB}
+	direct, err := s.P2PSweep(topology.RemoteDirect, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra, err := s.P2PSweep(topology.RemoteExtraHop, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(extra[0].Time > direct[0].Time) {
+		t.Errorf("small message: extra-hop %v should exceed direct %v", extra[0].Time, direct[0].Time)
+	}
+	rel := math.Abs(float64(extra[1].Bandwidth-direct[1].Bandwidth)) / float64(direct[1].Bandwidth)
+	if rel > 0.02 {
+		t.Errorf("large-message bandwidths should converge: %v vs %v", extra[1].Bandwidth, direct[1].Bandwidth)
+	}
+}
+
+func TestHalfPeakSize(t *testing.T) {
+	s := NewSuite(topology.NewAurora())
+	curve, err := s.P2PSweep(topology.LocalStack, DefaultSweepSizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n12, err := HalfPeakSize(curve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n_1/2 ≈ latency × bandwidth = 0.8 µs × 197 GB/s ≈ 158 KB; the
+	// power-of-four grid lands on 256 KB.
+	if n12 < 64*units.KB || n12 > 1*units.MB {
+		t.Errorf("local n_1/2 = %v, want ~256 KB", n12)
+	}
+	if _, err := HalfPeakSize(nil); err == nil {
+		t.Error("empty curve should fail")
+	}
+}
+
+func TestPairForErrors(t *testing.T) {
+	h100 := NewSuite(topology.NewJLSEH100())
+	if _, _, err := h100.pairFor(topology.LocalStack); err == nil {
+		t.Error("H100 has no local pair")
+	}
+	if _, _, err := h100.pairFor(topology.RemoteExtraHop); err == nil {
+		t.Error("H100 has no extra-hop pair")
+	}
+	if _, _, err := h100.pairFor(topology.SameStack); err == nil {
+		t.Error("same-stack sweep is meaningless")
+	}
+	if _, err := h100.P2PSweep(topology.LocalStack, DefaultSweepSizes()); err == nil {
+		t.Error("H100 local sweep should fail")
+	}
+}

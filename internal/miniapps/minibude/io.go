@@ -1,0 +1,143 @@
+package minibude
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Deck serialization: a compact little-endian binary format mirroring the
+// bude.in deck files the real mini-app loads ("The input needs to be
+// fetched ... and copied to the minibude/data directory"), plus a
+// goroutine-parallel screening driver.
+
+// deckMagic identifies the format.
+var deckMagic = [4]byte{'B', 'U', 'D', '1'}
+
+// WriteDeck serializes the deck.
+func WriteDeck(w io.Writer, d *Deck) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(deckMagic[:]); err != nil {
+		return err
+	}
+	counts := []uint32{uint32(len(d.Ligand)), uint32(len(d.Protein)), uint32(len(d.Poses))}
+	for _, c := range counts {
+		if err := binary.Write(bw, binary.LittleEndian, c); err != nil {
+			return err
+		}
+	}
+	for _, a := range d.Ligand {
+		if err := binary.Write(bw, binary.LittleEndian, a); err != nil {
+			return err
+		}
+	}
+	for _, a := range d.Protein {
+		if err := binary.Write(bw, binary.LittleEndian, a); err != nil {
+			return err
+		}
+	}
+	for _, p := range d.Poses {
+		if err := binary.Write(bw, binary.LittleEndian, p); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadDeck parses a serialized deck, validating the header and sizes.
+func ReadDeck(r io.Reader) (*Deck, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("minibude: reading magic: %w", err)
+	}
+	if magic != deckMagic {
+		return nil, fmt.Errorf("minibude: bad deck magic %q", magic)
+	}
+	var counts [3]uint32
+	for i := range counts {
+		if err := binary.Read(br, binary.LittleEndian, &counts[i]); err != nil {
+			return nil, fmt.Errorf("minibude: reading counts: %w", err)
+		}
+	}
+	const sane = 1 << 28
+	if counts[0] == 0 || counts[1] == 0 || counts[0] > sane || counts[1] > sane || counts[2] > sane {
+		return nil, fmt.Errorf("minibude: implausible deck counts %v", counts)
+	}
+	d := &Deck{
+		Ligand:  make([]Atom, counts[0]),
+		Protein: make([]Atom, counts[1]),
+		Poses:   make([]Pose, counts[2]),
+	}
+	for i := range d.Ligand {
+		if err := binary.Read(br, binary.LittleEndian, &d.Ligand[i]); err != nil {
+			return nil, fmt.Errorf("minibude: reading ligand: %w", err)
+		}
+	}
+	for i := range d.Protein {
+		if err := binary.Read(br, binary.LittleEndian, &d.Protein[i]); err != nil {
+			return nil, fmt.Errorf("minibude: reading protein: %w", err)
+		}
+	}
+	for i := range d.Poses {
+		if err := binary.Read(br, binary.LittleEndian, &d.Poses[i]); err != nil {
+			return nil, fmt.Errorf("minibude: reading poses: %w", err)
+		}
+	}
+	return d, nil
+}
+
+// ScreenParallel evaluates all pose energies with workers goroutines
+// (workers <= 0 picks a reasonable default); results match Screen
+// exactly since poses are independent.
+func ScreenParallel(d *Deck, workers int) []float32 {
+	n := len(d.Poses)
+	out := make([]float32, n)
+	if n == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = 4
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = PoseEnergy(d, d.Poses[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// BestPose returns the index and energy of the most favourable
+// (lowest-energy) pose — the virtual-screening answer.
+func BestPose(energies []float32) (int, float32, error) {
+	if len(energies) == 0 {
+		return 0, 0, fmt.Errorf("minibude: no energies")
+	}
+	best := 0
+	for i, e := range energies {
+		if e < energies[best] {
+			best = i
+		}
+	}
+	return best, energies[best], nil
+}

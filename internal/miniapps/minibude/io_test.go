@@ -1,0 +1,120 @@
+package minibude
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeckRoundTrip(t *testing.T) {
+	d := NewSyntheticDeck(20, 30, 12, 7)
+	var buf bytes.Buffer
+	if err := WriteDeck(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDeck(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Ligand) != 20 || len(back.Protein) != 30 || len(back.Poses) != 12 {
+		t.Fatal("counts wrong after roundtrip")
+	}
+	for i := range d.Ligand {
+		if d.Ligand[i] != back.Ligand[i] {
+			t.Fatalf("ligand %d mismatch", i)
+		}
+	}
+	for i := range d.Poses {
+		if d.Poses[i] != back.Poses[i] {
+			t.Fatalf("pose %d mismatch", i)
+		}
+	}
+	// Energies identical through serialization.
+	e1 := Screen(d)
+	e2 := Screen(back)
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("energy %d changed through serialization", i)
+		}
+	}
+}
+
+func TestReadDeckRejectsGarbage(t *testing.T) {
+	if _, err := ReadDeck(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := ReadDeck(bytes.NewReader([]byte("NOPE????????????"))); err == nil {
+		t.Error("bad magic should fail")
+	}
+	// Valid magic, implausible counts.
+	var buf bytes.Buffer
+	buf.Write(deckMagic[:])
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 1, 0, 0, 0, 1, 0, 0, 0})
+	if _, err := ReadDeck(&buf); err == nil {
+		t.Error("implausible counts should fail")
+	}
+	// Truncated payload.
+	var buf2 bytes.Buffer
+	d := NewSyntheticDeck(4, 4, 4, 1)
+	if err := WriteDeck(&buf2, d); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf2.Bytes()[:buf2.Len()-10]
+	if _, err := ReadDeck(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated deck should fail")
+	}
+}
+
+func TestScreenParallelMatchesSerial(t *testing.T) {
+	d := NewSyntheticDeck(24, 32, 17, 9)
+	want := Screen(d)
+	for _, workers := range []int{1, 2, 3, 8, 100, 0} {
+		got := ScreenParallel(d, workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d pose %d: %v vs %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+	empty := &Deck{Ligand: d.Ligand, Protein: d.Protein}
+	if got := ScreenParallel(empty, 4); len(got) != 0 {
+		t.Error("empty pose list should return empty energies")
+	}
+}
+
+func TestBestPose(t *testing.T) {
+	idx, e, err := BestPose([]float32{3, -1, 2})
+	if err != nil || idx != 1 || e != -1 {
+		t.Errorf("BestPose = %d, %v, %v", idx, e, err)
+	}
+	if _, _, err := BestPose(nil); err == nil {
+		t.Error("empty energies should fail")
+	}
+}
+
+// Property: serialization roundtrips for arbitrary small decks.
+func TestDeckRoundTripProperty(t *testing.T) {
+	f := func(nl, np, npo uint8, seed int64) bool {
+		d := NewSyntheticDeck(int(nl%16)+1, int(np%16)+1, int(npo%8), seed)
+		var buf bytes.Buffer
+		if err := WriteDeck(&buf, d); err != nil {
+			return false
+		}
+		back, err := ReadDeck(&buf)
+		if err != nil {
+			return false
+		}
+		if len(back.Ligand) != len(d.Ligand) || len(back.Poses) != len(d.Poses) {
+			return false
+		}
+		for i := range d.Protein {
+			if d.Protein[i] != back.Protein[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,136 @@
+package miniqmc
+
+import (
+	"math"
+	"testing"
+)
+
+// smoothSpline builds a spline sampling a smooth periodic function.
+func smoothSpline(n int) *Spline3D {
+	coef := make([]float64, n*n*n)
+	f := func(x, y, z float64) float64 {
+		return math.Sin(2*math.Pi*x) * math.Cos(4*math.Pi*y) * math.Sin(2*math.Pi*z)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				coef[(i*n+j)*n+k] = f(float64(i)/float64(n), float64(j)/float64(n), float64(k)/float64(n))
+			}
+		}
+	}
+	sp, _ := NewSpline3D(n, n, n, coef)
+	return sp
+}
+
+// Derivative basis weights integrate the value basis: Σ d1 = 0 (the
+// basis partitions unity, so its derivative sums to zero), Σ d2 = 0.
+func TestDerivativeWeightSums(t *testing.T) {
+	for _, tt := range []float64{0, 0.2, 0.5, 0.9} {
+		d1 := bsplineD1(tt)
+		d2 := bsplineD2(tt)
+		s1 := d1[0] + d1[1] + d1[2] + d1[3]
+		s2 := d2[0] + d2[1] + d2[2] + d2[3]
+		if math.Abs(s1) > 1e-14 {
+			t.Errorf("t=%v: Σd1 = %v", tt, s1)
+		}
+		if math.Abs(s2) > 1e-13 {
+			t.Errorf("t=%v: Σd2 = %v", tt, s2)
+		}
+	}
+}
+
+// The analytic gradient matches central finite differences of Eval.
+func TestGradientMatchesFiniteDifference(t *testing.T) {
+	sp := smoothSpline(16)
+	const h = 1e-6
+	for _, pt := range [][3]float64{{0.31, 0.42, 0.53}, {0.11, 0.87, 0.66}, {0.5, 0.25, 0.75}} {
+		vgl := sp.EvalVGL(pt[0], pt[1], pt[2])
+		if math.Abs(vgl.Value-sp.Eval(pt[0], pt[1], pt[2])) > 1e-12 {
+			t.Fatalf("VGL value differs from Eval at %v", pt)
+		}
+		fd := [3]float64{
+			(sp.Eval(pt[0]+h, pt[1], pt[2]) - sp.Eval(pt[0]-h, pt[1], pt[2])) / (2 * h),
+			(sp.Eval(pt[0], pt[1]+h, pt[2]) - sp.Eval(pt[0], pt[1]-h, pt[2])) / (2 * h),
+			(sp.Eval(pt[0], pt[1], pt[2]+h) - sp.Eval(pt[0], pt[1], pt[2]-h)) / (2 * h),
+		}
+		for d := 0; d < 3; d++ {
+			if math.Abs(vgl.Grad[d]-fd[d]) > 1e-4*(1+math.Abs(fd[d])) {
+				t.Errorf("point %v dim %d: grad %v vs FD %v", pt, d, vgl.Grad[d], fd[d])
+			}
+		}
+	}
+}
+
+// The analytic Laplacian matches the finite-difference Laplacian.
+func TestLaplacianMatchesFiniteDifference(t *testing.T) {
+	sp := smoothSpline(16)
+	const h = 1e-4
+	for _, pt := range [][3]float64{{0.31, 0.42, 0.53}, {0.77, 0.13, 0.45}} {
+		vgl := sp.EvalVGL(pt[0], pt[1], pt[2])
+		center := sp.Eval(pt[0], pt[1], pt[2])
+		fd := 0.0
+		offsets := [][3]float64{{h, 0, 0}, {0, h, 0}, {0, 0, h}}
+		for _, o := range offsets {
+			plus := sp.Eval(pt[0]+o[0], pt[1]+o[1], pt[2]+o[2])
+			minus := sp.Eval(pt[0]-o[0], pt[1]-o[1], pt[2]-o[2])
+			fd += (plus - 2*center + minus) / (h * h)
+		}
+		if math.Abs(vgl.Laplacian-fd) > 1e-3*(1+math.Abs(fd)) {
+			t.Errorf("point %v: laplacian %v vs FD %v", pt, vgl.Laplacian, fd)
+		}
+	}
+}
+
+// A constant spline has zero gradient and Laplacian everywhere.
+func TestVGLOfConstant(t *testing.T) {
+	sp := ConstantSpline(8, 3.5)
+	vgl := sp.EvalVGL(0.37, 0.91, 0.12)
+	if math.Abs(vgl.Value-3.5) > 1e-12 {
+		t.Errorf("value = %v", vgl.Value)
+	}
+	for d := 0; d < 3; d++ {
+		if math.Abs(vgl.Grad[d]) > 1e-10 {
+			t.Errorf("grad[%d] = %v", d, vgl.Grad[d])
+		}
+	}
+	if math.Abs(vgl.Laplacian) > 1e-9 {
+		t.Errorf("laplacian = %v", vgl.Laplacian)
+	}
+}
+
+// The Laplacian of the spline approximation of sin products approaches
+// the analytic −(k²)·f with refinement.
+func TestLaplacianConvergesToAnalytic(t *testing.T) {
+	// f = sin(2πx)·cos(4πy)·sin(2πz) → ∇²f = −(4π² + 16π² + 4π²) f.
+	want := -(4 + 16 + 4) * math.Pi * math.Pi
+	errAt := func(n int) float64 {
+		sp := smoothSpline(n)
+		pt := [3]float64{0.31, 0.40, 0.55}
+		f := math.Sin(2*math.Pi*pt[0]) * math.Cos(4*math.Pi*pt[1]) * math.Sin(2*math.Pi*pt[2])
+		vgl := sp.EvalVGL(pt[0], pt[1], pt[2])
+		return math.Abs(vgl.Laplacian - want*f)
+	}
+	coarse, fine := errAt(12), errAt(48)
+	if !(fine < coarse/2) {
+		t.Errorf("laplacian not converging: err(12)=%v err(48)=%v", coarse, fine)
+	}
+}
+
+func TestLocalKineticEnergyFinite(t *testing.T) {
+	sp := smoothSpline(12)
+	e, err := NewEnsemble(4, 6, sp, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := range e.Walkers {
+		ke := e.LocalKineticEnergy(&e.Walkers[w])
+		if math.IsNaN(ke) || math.IsInf(ke, 0) {
+			t.Fatalf("walker %d kinetic energy = %v", w, ke)
+		}
+	}
+	// Constant orbital → zero kinetic energy.
+	ec, _ := NewEnsemble(2, 3, ConstantSpline(6, 1.0), 4)
+	if ke := ec.LocalKineticEnergy(&ec.Walkers[0]); math.Abs(ke) > 1e-9 {
+		t.Errorf("constant-orbital kinetic energy = %v", ke)
+	}
+}

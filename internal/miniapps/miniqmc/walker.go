@@ -1,0 +1,194 @@
+package miniqmc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Electron is one particle position in the unit cube.
+type Electron struct{ X, Y, Z float64 }
+
+// Walker is one QMC walker: a full electron configuration with its
+// current log-amplitude.
+type Walker struct {
+	Electrons []Electron
+	LogPsi    float64
+}
+
+// Ensemble is a set of walkers diffusing against a trial wavefunction
+// represented by spline orbitals.
+type Ensemble struct {
+	Walkers  []Walker
+	Orbital  *Spline3D
+	StepSize float64
+	rng      *rand.Rand
+
+	Accepted int64
+	Proposed int64
+}
+
+// PaperWalkersPerGPU is the paper's configuration: "the simulation uses a
+// 2x2x1 cell and 320 walkers per GPU".
+const PaperWalkersPerGPU = 320
+
+// NewEnsemble creates nWalkers walkers of nElec electrons at deterministic
+// random positions against the given orbital spline.
+func NewEnsemble(nWalkers, nElec int, orb *Spline3D, seed int64) (*Ensemble, error) {
+	if nWalkers < 1 || nElec < 1 {
+		return nil, fmt.Errorf("miniqmc: need at least one walker and electron")
+	}
+	if orb == nil {
+		return nil, fmt.Errorf("miniqmc: nil orbital")
+	}
+	e := &Ensemble{Orbital: orb, StepSize: 0.05, rng: rand.New(rand.NewSource(seed))}
+	for w := 0; w < nWalkers; w++ {
+		wk := Walker{Electrons: make([]Electron, nElec)}
+		for i := range wk.Electrons {
+			wk.Electrons[i] = Electron{e.rng.Float64(), e.rng.Float64(), e.rng.Float64()}
+		}
+		wk.LogPsi = e.logPsi(wk.Electrons)
+		e.Walkers = append(e.Walkers, wk)
+	}
+	return e, nil
+}
+
+// logPsi is the trial wavefunction's log-amplitude: a product of
+// single-particle orbitals Σ log|φ(r_i)| with a softplus to keep the
+// amplitude positive (a simplified Slater-style trial function that still
+// makes the spline evaluator the hot kernel).
+func (e *Ensemble) logPsi(elecs []Electron) float64 {
+	sum := 0.0
+	for _, el := range elecs {
+		v := e.Orbital.Eval(el.X, el.Y, el.Z)
+		sum += math.Log1p(math.Exp(v)) // softplus: positive amplitude
+	}
+	return sum
+}
+
+// Step performs one Metropolis sweep: every electron of every walker
+// proposes a Gaussian move, accepted with probability |ψ'/ψ|². It returns
+// the sweep's acceptance fraction.
+func (e *Ensemble) Step() float64 {
+	var acc, tot int64
+	for w := range e.Walkers {
+		wk := &e.Walkers[w]
+		for i := range wk.Electrons {
+			old := wk.Electrons[i]
+			wk.Electrons[i] = Electron{
+				X: old.X + e.rng.NormFloat64()*e.StepSize,
+				Y: old.Y + e.rng.NormFloat64()*e.StepSize,
+				Z: old.Z + e.rng.NormFloat64()*e.StepSize,
+			}
+			newLog := e.logPsi(wk.Electrons)
+			tot++
+			// Accept with |ψ'/ψ|² = exp(2Δlogψ).
+			if math.Log(e.rng.Float64()) < 2*(newLog-wk.LogPsi) {
+				wk.LogPsi = newLog
+				acc++
+			} else {
+				wk.Electrons[i] = old
+			}
+		}
+	}
+	e.Accepted += acc
+	e.Proposed += tot
+	return float64(acc) / float64(tot)
+}
+
+// AcceptanceRatio returns the cumulative acceptance fraction.
+func (e *Ensemble) AcceptanceRatio() float64 {
+	if e.Proposed == 0 {
+		return 0
+	}
+	return float64(e.Accepted) / float64(e.Proposed)
+}
+
+// SpawnKernelEvals returns the number of 64-point spline gathers one
+// diffusion sweep performs: walkers × electrons² (each move re-evaluates
+// every electron's orbital contribution in production QMC's determinant
+// update; here electrons per logPsi × electrons moves).
+func (e *Ensemble) SpawnKernelEvals() int64 {
+	ne := int64(len(e.Walkers[0].Electrons))
+	return int64(len(e.Walkers)) * ne * ne
+}
+
+// JastrowEnsemble extends the diffusion sampler with a two-body Jastrow
+// correlation evaluated through incrementally updated distance tables —
+// the full trial-function structure of the production code (orbitals ×
+// correlation).
+type JastrowEnsemble struct {
+	*Ensemble
+	A, B   float64 // Jastrow parameters
+	tables []*DistanceTable
+}
+
+// NewJastrowEnsemble wraps an ensemble with Jastrow parameters a, b > 0
+// (repulsive electron-electron correlation).
+func NewJastrowEnsemble(e *Ensemble, a, b float64) (*JastrowEnsemble, error) {
+	if e == nil {
+		return nil, fmt.Errorf("miniqmc: nil ensemble")
+	}
+	if a < 0 || b <= 0 {
+		return nil, fmt.Errorf("miniqmc: bad Jastrow parameters a=%v b=%v", a, b)
+	}
+	j := &JastrowEnsemble{Ensemble: e, A: a, B: b}
+	for w := range e.Walkers {
+		tab, err := NewDistanceTable(e.Walkers[w].Electrons)
+		if err != nil {
+			return nil, err
+		}
+		j.tables = append(j.tables, tab)
+	}
+	return j, nil
+}
+
+// logPsiJ returns the full log-amplitude: orbitals + Jastrow.
+func (j *JastrowEnsemble) logPsiJ(w int) float64 {
+	return j.logPsi(j.Walkers[w].Electrons) + j.tables[w].JastrowFactor(j.A, j.B)
+}
+
+// Step performs one Metropolis sweep with the correlated trial function,
+// maintaining the distance tables incrementally.
+func (j *JastrowEnsemble) Step() float64 {
+	var acc, tot int64
+	for w := range j.Walkers {
+		wk := &j.Walkers[w]
+		for i := range wk.Electrons {
+			oldPos := wk.Electrons[i]
+			oldLog := j.logPsiJ(w)
+			wk.Electrons[i] = Electron{
+				X: oldPos.X + j.rng.NormFloat64()*j.StepSize,
+				Y: oldPos.Y + j.rng.NormFloat64()*j.StepSize,
+				Z: oldPos.Z + j.rng.NormFloat64()*j.StepSize,
+			}
+			if err := j.tables[w].UpdateRow(wk.Electrons, i); err != nil {
+				panic(err) // structurally impossible: sizes fixed
+			}
+			newLog := j.logPsiJ(w)
+			tot++
+			if math.Log(j.rng.Float64()) < 2*(newLog-oldLog) {
+				wk.LogPsi = newLog
+				acc++
+			} else {
+				wk.Electrons[i] = oldPos
+				if err := j.tables[w].UpdateRow(wk.Electrons, i); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	j.Accepted += acc
+	j.Proposed += tot
+	return float64(acc) / float64(tot)
+}
+
+// MeanMinDistance averages the closest electron pair across walkers — the
+// observable the repulsive Jastrow pushes up.
+func (j *JastrowEnsemble) MeanMinDistance() float64 {
+	sum := 0.0
+	for _, t := range j.tables {
+		sum += t.MinDist()
+	}
+	return sum / float64(len(j.tables))
+}

@@ -1,0 +1,248 @@
+// Package paper records the published measurements of "Ponte Vecchio
+// Across the Atlantic" (SC 2024) as data: Table II (microbenchmarks),
+// Table III (point-to-point), Table IV (H100/MI250 references), Table V
+// (workload characteristics), Table VI (mini-app and application FOMs),
+// and the Figure 1 latency-ratio statements. The experiment harness
+// regenerates each value with the simulator and reports paper-vs-measured
+// in EXPERIMENTS.md; fidelity tests assert agreement within tolerance.
+package paper
+
+import "pvcsim/internal/topology"
+
+// Metric names one Table II row.
+type Metric string
+
+// Table II row identifiers.
+const (
+	FP64Peak  Metric = "Double Precision Peak Flops"  // TFlop/s
+	FP32Peak  Metric = "Single Precision Peak Flops"  // TFlop/s
+	TriadBW   Metric = "Memory Bandwidth (triad)"     // TB/s
+	PCIeH2D   Metric = "PCIe Unidirectional BW (H2D)" // GB/s
+	PCIeD2H   Metric = "PCIe Unidirectional BW (D2H)" // GB/s
+	PCIeBidir Metric = "PCIe Bidirectional BW"        // GB/s
+	DGEMM     Metric = "DGEMM"                        // TFlop/s
+	SGEMM     Metric = "SGEMM"                        // TFlop/s
+	HGEMM     Metric = "HGEMM"                        // TFlop/s
+	BF16GEMM  Metric = "BF16GEMM"                     // TFlop/s
+	TF32GEMM  Metric = "TF32GEMM"                     // TFlop/s
+	I8GEMM    Metric = "I8GEMM"                       // TIop/s
+	FFT1D     Metric = "Single-precision FFT C2C 1D"  // TFlop/s
+	FFT2D     Metric = "Single-precision FFT C2C 2D"  // TFlop/s
+)
+
+// TableIIMetrics lists the rows in table order.
+func TableIIMetrics() []Metric {
+	return []Metric{FP64Peak, FP32Peak, TriadBW, PCIeH2D, PCIeD2H, PCIeBidir,
+		DGEMM, SGEMM, HGEMM, BF16GEMM, TF32GEMM, I8GEMM, FFT1D, FFT2D}
+}
+
+// Scope selects a Table II column granularity.
+type Scope int
+
+const (
+	OneStack Scope = iota
+	OnePVC
+	FullNode
+)
+
+// String names the scope as a column header.
+func (s Scope) String() string {
+	switch s {
+	case OneStack:
+		return "One Stack"
+	case OnePVC:
+		return "One PVC"
+	default:
+		return "Full Node"
+	}
+}
+
+// TableII holds the published microbenchmark values. Units per row are as
+// annotated on the Metric constants (TFlop/s, TB/s or GB/s); the harness
+// uses the same units when regenerating.
+var TableII = map[topology.System]map[Metric][3]float64{
+	topology.Aurora: {
+		FP64Peak:  {17, 33, 195},
+		FP32Peak:  {23, 45, 268},
+		TriadBW:   {1, 2, 12},
+		PCIeH2D:   {54, 55, 329},
+		PCIeD2H:   {53, 56, 264},
+		PCIeBidir: {76, 77, 350},
+		DGEMM:     {13, 26, 151},
+		SGEMM:     {21, 42, 242},
+		HGEMM:     {207, 411, 2300},
+		BF16GEMM:  {216, 434, 2400},
+		TF32GEMM:  {107, 208, 1200},
+		I8GEMM:    {448, 864, 5000},
+		FFT1D:     {3.1, 5.9, 33},
+		FFT2D:     {3.4, 6.0, 34},
+	},
+	topology.Dawn: {
+		FP64Peak:  {20, 37, 140},
+		FP32Peak:  {26, 52, 207},
+		TriadBW:   {1, 2, 8},
+		PCIeH2D:   {53, 54, 218},
+		PCIeD2H:   {51, 53, 212},
+		PCIeBidir: {72, 72, 285},
+		DGEMM:     {17, 30, 120},
+		SGEMM:     {25, 48, 188},
+		HGEMM:     {246, 509, 1900},
+		BF16GEMM:  {254, 501, 2000},
+		TF32GEMM:  {118, 200, 850},
+		I8GEMM:    {525, 1100, 4100},
+		FFT1D:     {3.6, 6.6, 26},
+		FFT2D:     {3.6, 6.5, 25},
+	},
+}
+
+// P2P holds Table III: stack-to-stack bandwidths in GB/s for one pair and
+// all pairs. Dawn's remote numbers were not reported (zero here).
+type P2P struct {
+	LocalUniOne    float64
+	LocalUniAll    float64
+	LocalBidirOne  float64
+	LocalBidirAll  float64
+	RemoteUniOne   float64
+	RemoteUniAll   float64
+	RemoteBidirOne float64
+	RemoteBidirAll float64
+	Pairs          int
+}
+
+// TableIII holds the published point-to-point results.
+var TableIII = map[topology.System]P2P{
+	topology.Aurora: {
+		LocalUniOne: 197, LocalUniAll: 1129,
+		LocalBidirOne: 284, LocalBidirAll: 1661,
+		RemoteUniOne: 15, RemoteUniAll: 95,
+		RemoteBidirOne: 23, RemoteBidirAll: 142,
+		Pairs: 6,
+	},
+	topology.Dawn: {
+		LocalUniOne: 196, LocalUniAll: 786,
+		LocalBidirOne: 287, LocalBidirAll: 1145,
+		Pairs: 4,
+	},
+}
+
+// Reference holds Table IV: vendor/Frontier characteristics.
+type Reference struct {
+	FP32PeakTF float64
+	FP64PeakTF float64
+	SGEMMTF    float64 // measured, MI250x GCD only
+	DGEMMTF    float64
+	MemBWTBs   float64
+	PCIeGBs    float64
+	GCD2GCDGBs float64
+}
+
+// TableIV holds the published reference characteristics.
+var TableIV = map[string]Reference{
+	"H100":       {FP32PeakTF: 67.0, FP64PeakTF: 34.0, MemBWTBs: 3.35, PCIeGBs: 128.0},
+	"MI250":      {FP32PeakTF: 45.3, FP64PeakTF: 45.3, MemBWTBs: 3.2, PCIeGBs: 64.0},
+	"MI250X-GCD": {SGEMMTF: 33.8, DGEMMTF: 24.1, MemBWTBs: 1.3, PCIeGBs: 25.0, GCD2GCDGBs: 37.0},
+}
+
+// Workload identifies a mini-app or application of Tables V and VI.
+type Workload string
+
+// The paper's six workloads.
+const (
+	MiniBUDE   Workload = "miniBUDE"
+	CloverLeaf Workload = "CloverLeaf"
+	MiniQMC    Workload = "miniQMC"
+	MiniGAMESS Workload = "mini-GAMESS"
+	OpenMC     Workload = "OpenMC"
+	HACC       Workload = "HACC"
+)
+
+// Workloads lists Table V/VI rows in order.
+func Workloads() []Workload {
+	return []Workload{MiniBUDE, CloverLeaf, MiniQMC, MiniGAMESS, OpenMC, HACC}
+}
+
+// Characteristic summarizes a Table V row.
+type Characteristic struct {
+	Domain  string
+	Bound   string // the stated performance bound
+	Scaling string // "Weak", "Strong", or "N/A"
+	FOMUnit string
+}
+
+// TableV holds the published workload characteristics.
+var TableV = map[Workload]Characteristic{
+	MiniBUDE:   {Domain: "BioChemistry", Bound: "FP32 flop-rate", Scaling: "N/A", FOMUnit: "GInteractions/s"},
+	CloverLeaf: {Domain: "CFD", Bound: "Memory bandwidth", Scaling: "Weak", FOMUnit: "Mcells/s"},
+	MiniQMC:    {Domain: "Material Science", Bound: "Compute/Memory BW + CPU congestion", Scaling: "Weak", FOMUnit: "Nw*Ne^3*1e-11/s"},
+	MiniGAMESS: {Domain: "Quantum Chemistry", Bound: "DGEMM", Scaling: "Strong", FOMUnit: "1/time(h)"},
+	OpenMC:     {Domain: "Particle Transport", Bound: "Memory latency/bandwidth", Scaling: "Weak", FOMUnit: "kparticles/s"},
+	HACC:       {Domain: "Cosmology", Bound: "CPU memory BW + GPU FP32", Scaling: "Weak", FOMUnit: "Np*Nsteps/s"},
+}
+
+// FOMRow holds one workload × system cell group of Table VI. Zero means
+// the paper reports no value ("-").
+type FOMRow struct {
+	OneStack float64 // one stack / one GCD
+	OneGPU   float64
+	FullNode float64
+}
+
+// TableVI holds the published figures of merit.
+var TableVI = map[Workload]map[topology.System]FOMRow{
+	MiniBUDE: {
+		topology.Aurora:    {OneStack: 293.02},
+		topology.Dawn:      {OneStack: 366.17},
+		topology.JLSEH100:  {OneGPU: 638.40},
+		topology.JLSEMI250: {OneStack: 193.66},
+	},
+	CloverLeaf: {
+		topology.Aurora:    {OneStack: 20.82, OneGPU: 40.41, FullNode: 240.89},
+		topology.Dawn:      {OneStack: 22.46, OneGPU: 41.92, FullNode: 167.15},
+		topology.JLSEH100:  {OneGPU: 65.87, FullNode: 261.37},
+		topology.JLSEMI250: {OneStack: 25.71, FullNode: 192.68},
+	},
+	MiniQMC: {
+		topology.Aurora:    {OneStack: 3.16, OneGPU: 5.39, FullNode: 15.64},
+		topology.Dawn:      {OneStack: 3.72, OneGPU: 6.85, FullNode: 16.28},
+		topology.JLSEH100:  {OneGPU: 3.89, FullNode: 12.32},
+		topology.JLSEMI250: {OneStack: 0.50, FullNode: 0.90},
+	},
+	MiniGAMESS: {
+		topology.Aurora:   {OneStack: 19.44, OneGPU: 38.50, FullNode: 197.08},
+		topology.Dawn:     {OneStack: 24.57, OneGPU: 43.88, FullNode: 164.71},
+		topology.JLSEH100: {OneGPU: 49.30, FullNode: 168.97},
+		// JLSE-MI250: "failed to build with the AMD Fortran compiler".
+	},
+	OpenMC: {
+		topology.Aurora:    {FullNode: 2039},
+		topology.JLSEH100:  {FullNode: 1191},
+		topology.JLSEMI250: {FullNode: 720},
+	},
+	HACC: {
+		topology.Aurora:    {FullNode: 13.81},
+		topology.Dawn:      {FullNode: 12.26},
+		topology.JLSEH100:  {FullNode: 12.46},
+		topology.JLSEMI250: {FullNode: 10.70},
+	},
+}
+
+// Figure1Ratios holds the stated cross-architecture latency relationships:
+// PVC latency relative to each system per level ("The L1 cache has 90%
+// higher latency than the H100 GPU and about 51% lower than the MI250...").
+var Figure1Ratios = map[string]map[string]float64{
+	"L1":  {"H100": 1.90, "MI250": 0.49},
+	"L2":  {"H100": 1.50, "MI250": 1.78},
+	"HBM": {"H100": 1.23, "MI250": 1.44},
+}
+
+// MiniAppExpectations records the §V-B prediction anchors used for the
+// black bars: miniBUDE reaches ~45-49% of FP32 peak on PVC, ~30% on H100,
+// ~26% on MI250.
+var MiniAppExpectations = map[Workload]map[topology.System]float64{
+	MiniBUDE: {
+		topology.Aurora:    0.45,
+		topology.Dawn:      0.49,
+		topology.JLSEH100:  0.30,
+		topology.JLSEMI250: 0.26,
+	},
+}

@@ -1,0 +1,168 @@
+package paper
+
+import (
+	"testing"
+
+	"pvcsim/internal/topology"
+)
+
+func TestTableIIComplete(t *testing.T) {
+	for _, sys := range []topology.System{topology.Aurora, topology.Dawn} {
+		rows, ok := TableII[sys]
+		if !ok {
+			t.Fatalf("Table II missing %v", sys)
+		}
+		for _, m := range TableIIMetrics() {
+			vals, ok := rows[m]
+			if !ok {
+				t.Errorf("%v missing metric %q", sys, m)
+				continue
+			}
+			for i, v := range vals {
+				if v <= 0 {
+					t.Errorf("%v %q scope %d is %v", sys, m, i, v)
+				}
+			}
+			// Values grow with scope (stack ≤ PVC ≤ node).
+			if !(vals[0] <= vals[1] && vals[1] <= vals[2]) {
+				t.Errorf("%v %q not monotone: %v", sys, m, vals)
+			}
+		}
+	}
+}
+
+func TestTableIIMetricsOrdered(t *testing.T) {
+	ms := TableIIMetrics()
+	if len(ms) != 14 {
+		t.Errorf("Table II has %d rows, want 14", len(ms))
+	}
+	if ms[0] != FP64Peak || ms[len(ms)-1] != FFT2D {
+		t.Error("row order wrong")
+	}
+}
+
+// Scaling-efficiency cross-checks stated in the text: §IV-B1 "97% =
+// 33/(17×2)" and Dawn "92% and 88%".
+func TestStatedScalingEfficiencies(t *testing.T) {
+	a := TableII[topology.Aurora][FP64Peak]
+	if eff := a[1] / (a[0] * 2); eff < 0.96 || eff > 0.98 {
+		t.Errorf("Aurora 2-stack eff = %v", eff)
+	}
+	if eff := a[2] / (a[0] * 12); eff < 0.94 || eff > 0.97 {
+		t.Errorf("Aurora full eff = %v", eff)
+	}
+	d := TableII[topology.Dawn][FP64Peak]
+	if eff := d[1] / (d[0] * 2); eff < 0.91 || eff > 0.94 {
+		t.Errorf("Dawn 2-stack eff = %v", eff)
+	}
+	if eff := d[2] / (d[0] * 8); eff < 0.86 || eff > 0.89 {
+		t.Errorf("Dawn full eff = %v", eff)
+	}
+}
+
+func TestTableIIIStructure(t *testing.T) {
+	a := TableIII[topology.Aurora]
+	if a.Pairs != 6 || a.LocalUniOne != 197 || a.RemoteUniOne != 15 {
+		t.Errorf("Aurora P2P = %+v", a)
+	}
+	// "Xe-Link... slower than PCIe" — remote < PCIe H2D.
+	if a.RemoteUniOne >= TableII[topology.Aurora][PCIeH2D][0] {
+		t.Error("remote Xe-Link should be slower than PCIe")
+	}
+	d := TableIII[topology.Dawn]
+	if d.RemoteUniOne != 0 {
+		t.Error("Dawn remote numbers were not published")
+	}
+	if d.Pairs != 4 {
+		t.Error("Dawn has 4 pairs")
+	}
+}
+
+func TestTableIVReferences(t *testing.T) {
+	h := TableIV["H100"]
+	if h.FP64PeakTF != 34 || h.FP32PeakTF != 67 {
+		t.Errorf("H100 ref = %+v", h)
+	}
+	g := TableIV["MI250X-GCD"]
+	if g.DGEMMTF != 24.1 || g.GCD2GCDGBs != 37 {
+		t.Errorf("MI250x GCD ref = %+v", g)
+	}
+}
+
+func TestTableVComplete(t *testing.T) {
+	for _, w := range Workloads() {
+		c, ok := TableV[w]
+		if !ok {
+			t.Errorf("Table V missing %v", w)
+			continue
+		}
+		if c.Domain == "" || c.Bound == "" || c.FOMUnit == "" {
+			t.Errorf("%v characteristic incomplete: %+v", w, c)
+		}
+	}
+	if len(Workloads()) != 6 {
+		t.Error("six workloads expected")
+	}
+}
+
+func TestTableVIKnownValues(t *testing.T) {
+	// Spot checks against the publication.
+	if got := TableVI[MiniBUDE][topology.JLSEH100].OneGPU; got != 638.40 {
+		t.Errorf("miniBUDE H100 = %v", got)
+	}
+	if got := TableVI[CloverLeaf][topology.Aurora].FullNode; got != 240.89 {
+		t.Errorf("CloverLeaf Aurora node = %v", got)
+	}
+	if got := TableVI[OpenMC][topology.Aurora].FullNode; got != 2039 {
+		t.Errorf("OpenMC Aurora = %v", got)
+	}
+	// mini-GAMESS has no MI250 entry (build failure).
+	if _, ok := TableVI[MiniGAMESS][topology.JLSEMI250]; ok {
+		t.Error("mini-GAMESS should have no MI250 row")
+	}
+	// OpenMC Aurora node is 1.7× the H100 node (§VI-B1).
+	ratio := TableVI[OpenMC][topology.Aurora].FullNode / TableVI[OpenMC][topology.JLSEH100].FullNode
+	if ratio < 1.65 || ratio > 1.75 {
+		t.Errorf("OpenMC Aurora/H100 = %v, want ~1.7", ratio)
+	}
+}
+
+// §V headline: single-PVC mini-app FOMs range 0.6–1.8× H100, 0.8–7.5× of
+// an MI250 GCD per stack.
+func TestHeadlineRanges(t *testing.T) {
+	// CloverLeaf is the low end vs H100: one PVC / one H100 ≈ 0.61.
+	low := TableVI[CloverLeaf][topology.Aurora].OneGPU / TableVI[CloverLeaf][topology.JLSEH100].OneGPU
+	if low < 0.55 || low > 0.70 {
+		t.Errorf("CloverLeaf PVC/H100 = %v", low)
+	}
+	// miniQMC is the high end per stack vs an MI250 GCD: 3.72/0.50 = 7.4×.
+	high := TableVI[MiniQMC][topology.Dawn].OneStack / TableVI[MiniQMC][topology.JLSEMI250].OneStack
+	if high < 7.0 || high > 7.6 {
+		t.Errorf("miniQMC Dawn-stack/GCD = %v", high)
+	}
+}
+
+func TestFigure1Ratios(t *testing.T) {
+	for _, level := range []string{"L1", "L2", "HBM"} {
+		rs, ok := Figure1Ratios[level]
+		if !ok {
+			t.Fatalf("missing level %s", level)
+		}
+		if rs["H100"] <= 0 || rs["MI250"] <= 0 {
+			t.Errorf("%s ratios incomplete", level)
+		}
+	}
+	// PVC is faster than MI250 only at L1.
+	if Figure1Ratios["L1"]["MI250"] >= 1 {
+		t.Error("PVC L1 should be faster than MI250")
+	}
+	if Figure1Ratios["L2"]["MI250"] <= 1 {
+		t.Error("PVC L2 should be slower than MI250")
+	}
+}
+
+func TestScopeNames(t *testing.T) {
+	if OneStack.String() != "One Stack" || OnePVC.String() != "One PVC" || FullNode.String() != "Full Node" {
+		t.Error("scope names")
+	}
+}

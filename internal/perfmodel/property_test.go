@@ -1,0 +1,81 @@
+package perfmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pvcsim/internal/hw"
+	"pvcsim/internal/topology"
+	"pvcsim/internal/units"
+)
+
+// Property: aggregate rates never decrease when adding subdevices.
+func TestAggregateRateMonotoneInSubdevices(t *testing.T) {
+	m := New(topology.NewAurora())
+	kinds := []Kind{KindPeakFlops, KindGEMM, KindFFT1D, KindStream}
+	precs := []hw.Precision{hw.FP64, hw.FP32, hw.FP16}
+	f := func(kRaw, pRaw, nRaw uint8) bool {
+		kind := kinds[int(kRaw)%len(kinds)]
+		prec := precs[int(pRaw)%len(precs)]
+		n := int(nRaw)%11 + 1 // 1..11
+		a := float64(m.AggregateRate(kind, prec, n))
+		b := float64(m.AggregateRate(kind, prec, n+1))
+		return b >= a*0.999 // scaling eff varies, but totals never shrink
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: kernel time is monotone in both flops and bytes.
+func TestSubdeviceTimeMonotone(t *testing.T) {
+	m := New(topology.NewDawn())
+	f := func(fRaw, bRaw uint16) bool {
+		flops := float64(fRaw) * 1e9
+		bytes := units.Bytes(bRaw) * units.MB
+		base := m.SubdeviceTime(Profile{Flops: flops, MemBytes: bytes, Precision: hw.FP64, Kind: KindCompute})
+		moreFlops := m.SubdeviceTime(Profile{Flops: flops * 2, MemBytes: bytes, Precision: hw.FP64, Kind: KindCompute})
+		moreBytes := m.SubdeviceTime(Profile{Flops: flops, MemBytes: bytes * 2, Precision: hw.FP64, Kind: KindCompute})
+		return moreFlops >= base && moreBytes >= base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: scaling efficiency stays in (0, 1] for every calibrated
+// combination and interpolation point.
+func TestScalingEffBounded(t *testing.T) {
+	c := DefaultCalibration()
+	variants := []Variant{VariantAuroraPVC, VariantDawnPVC, VariantH100, VariantMI250, VariantMI250X}
+	kinds := []Kind{KindPeakFlops, KindGEMM, KindFFT1D, KindFFT2D, KindStream}
+	precs := []hw.Precision{hw.FP64, hw.FP32, hw.FP16, hw.I8}
+	f := func(vRaw, kRaw, pRaw, nRaw, fullRaw uint8) bool {
+		v := variants[int(vRaw)%len(variants)]
+		k := kinds[int(kRaw)%len(kinds)]
+		p := precs[int(pRaw)%len(precs)]
+		full := int(fullRaw)%15 + 2
+		n := int(nRaw)%full + 1
+		eff := c.ScalingEff(v, k, p, n, full)
+		return eff > 0 && eff <= 1.05 // Dawn HGEMM's 1.03 anchor is real
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the roofline never exceeds either of its two ceilings.
+func TestRooflineCeilingProperty(t *testing.T) {
+	m := New(topology.NewJLSEH100())
+	pts, err := m.Roofline(KindGEMM, hw.FP64, 0.01, 10000, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := float64(m.MemBandwidth(1))
+	peak := float64(m.SustainedRate(KindGEMM, hw.FP64))
+	for _, p := range pts {
+		if float64(p.Rate) > p.Intensity*bw*1.0001 || float64(p.Rate) > peak*1.0001 {
+			t.Fatalf("roofline exceeds ceilings at AI=%v", p.Intensity)
+		}
+	}
+}

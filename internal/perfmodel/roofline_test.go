@@ -1,0 +1,78 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"pvcsim/internal/hw"
+	"pvcsim/internal/topology"
+)
+
+func TestRooflineValidation(t *testing.T) {
+	m := New(topology.NewAurora())
+	if _, err := m.Roofline(KindPeakFlops, hw.FP64, 0, 10, 5); err == nil {
+		t.Error("zero loAI should fail")
+	}
+	if _, err := m.Roofline(KindPeakFlops, hw.FP64, 10, 1, 5); err == nil {
+		t.Error("inverted range should fail")
+	}
+	if _, err := m.Roofline(KindPeakFlops, hw.FP64, 1, 10, 1); err == nil {
+		t.Error("single point should fail")
+	}
+}
+
+func TestRooflineShape(t *testing.T) {
+	m := New(topology.NewAurora())
+	pts, err := m.Roofline(KindPeakFlops, hw.FP64, 0.1, 1000, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 40 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Rate is nondecreasing in intensity and plateaus at the peak.
+	prev := 0.0
+	sawMemory, sawCompute := false, false
+	for _, p := range pts {
+		if float64(p.Rate) < prev-1e-6 {
+			t.Fatalf("roofline not monotone at AI=%v", p.Intensity)
+		}
+		prev = float64(p.Rate)
+		switch p.Bound {
+		case "memory":
+			sawMemory = true
+			// Memory leg: rate = AI × 1 TB/s.
+			if math.Abs(float64(p.Rate)-p.Intensity*1e12)/(p.Intensity*1e12) > 1e-9 {
+				t.Fatalf("memory leg wrong at AI=%v", p.Intensity)
+			}
+		case "compute":
+			sawCompute = true
+			if math.Abs(float64(p.Rate)-17.03e12)/17.03e12 > 0.01 {
+				t.Fatalf("compute plateau = %v", p.Rate)
+			}
+		}
+	}
+	if !sawMemory || !sawCompute {
+		t.Error("roofline should cross the ridge in this range")
+	}
+}
+
+// Aurora's FP64 ridge: ~17 TFlop/s over 1 TB/s ≈ 17 flop/byte. The triad
+// (1/12 flop per byte) sits far left of it; the N=20480 DGEMM (~850
+// flop/byte) far right — Table V's classifications.
+func TestRidgeClassifiesTableV(t *testing.T) {
+	m := New(topology.NewAurora())
+	ridge := m.RidgeIntensity(KindPeakFlops, hw.FP64)
+	if math.Abs(ridge-17.03) > 0.5 {
+		t.Errorf("ridge = %v, want ~17", ridge)
+	}
+	triadAI := 2.0 / 24.0
+	if triadAI >= ridge {
+		t.Error("triad should be memory bound")
+	}
+	n := 20480.0
+	gemmAI := 2 * n * n * n / (3 * n * n * 8)
+	if gemmAI <= ridge {
+		t.Error("large DGEMM should be compute bound")
+	}
+}

@@ -1,0 +1,170 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"pvcsim/internal/hw"
+	"pvcsim/internal/units"
+)
+
+func ghz(f units.Frequency) float64 { return float64(f) / 1e9 }
+
+// §IV-B2: "the PVC operated at ~1.2GHz for FP64 and ~1.6GHz for FP32 FMA
+// operations" (Aurora).
+func TestAuroraFP64AndFP32Clocks(t *testing.T) {
+	g := NewGovernor(hw.NewAuroraPVC())
+	f64 := g.OperatingClock(hw.VectorFP64)
+	if math.Abs(ghz(f64)-1.20) > 0.02 {
+		t.Errorf("Aurora FP64 clock = %.3f GHz, want ~1.20", ghz(f64))
+	}
+	f32 := g.OperatingClock(hw.VectorFP32)
+	if math.Abs(ghz(f32)-1.60) > 0.02 {
+		t.Errorf("Aurora FP32 clock = %.3f GHz, want ~1.60 (max)", ghz(f32))
+	}
+}
+
+// Dawn's 600 W cap across 64 cores/stack lands slightly above Aurora's
+// FP64 clock: 20 TFlop/s per stack needs ~1.22 GHz.
+func TestDawnFP64Clock(t *testing.T) {
+	g := NewGovernor(hw.NewDawnPVC())
+	f64 := g.OperatingClock(hw.VectorFP64)
+	if math.Abs(ghz(f64)-1.22) > 0.02 {
+		t.Errorf("Dawn FP64 clock = %.3f GHz, want ~1.22", ghz(f64))
+	}
+}
+
+// The observed FP32:FP64 flops ratio on a single Aurora stack is ~1.3×
+// (23/17) even though the architecture has identical per-clock throughput.
+func TestFP32toFP64RatioComesFromFrequency(t *testing.T) {
+	dev := hw.NewAuroraPVC()
+	g := NewGovernor(dev)
+	r64 := g.SustainedPeak(hw.VectorEngine, hw.FP64)
+	r32 := g.SustainedPeak(hw.VectorEngine, hw.FP32)
+	ratio := float64(r32) / float64(r64)
+	if math.Abs(ratio-1.33) > 0.05 {
+		t.Errorf("FP32/FP64 ratio = %.3f, want ~1.33", ratio)
+	}
+	if math.Abs(float64(r64)-17.2e12)/17.2e12 > 0.02 {
+		t.Errorf("Aurora stack sustained FP64 = %v, want ~17.2 TF", r64)
+	}
+	if math.Abs(float64(r32)-22.9e12)/22.9e12 > 0.02 {
+		t.Errorf("Aurora stack sustained FP32 = %v, want ~22.9 TF", r32)
+	}
+}
+
+func TestDawnSustainedPeaks(t *testing.T) {
+	g := NewGovernor(hw.NewDawnPVC())
+	r64 := g.SustainedPeak(hw.VectorEngine, hw.FP64)
+	if math.Abs(float64(r64)-20e12)/20e12 > 0.03 {
+		t.Errorf("Dawn stack FP64 = %v, want ~20 TF", r64)
+	}
+	r32 := g.SustainedPeak(hw.VectorEngine, hw.FP32)
+	if math.Abs(float64(r32)-26.2e12)/26.2e12 > 0.03 {
+		t.Errorf("Dawn stack FP32 = %v, want ~26 TF", r32)
+	}
+}
+
+func TestMemoryBoundDoesNotThrottleBelowFP32(t *testing.T) {
+	g := NewGovernor(hw.NewAuroraPVC())
+	fm := g.OperatingClock(hw.MemoryBound)
+	f32 := g.OperatingClock(hw.VectorFP32)
+	if fm < f32 {
+		t.Errorf("memory-bound clock %v below FP32 clock %v", fm, f32)
+	}
+}
+
+func TestIdleClockFloor(t *testing.T) {
+	// Aurora sets an idle frequency of 1.6 GHz (§III); even the heaviest
+	// workload never reports below the idle clock floor when that floor
+	// exceeds the governed frequency... which on Aurora it does not for
+	// FP64 (1.2 < 1.6 idle yet measured 1.2). The idle clock is therefore
+	// modeled as a floor only for the IdleWorkload class semantics; here
+	// we check the governor respects MaxClock and the idle setting for a
+	// synthetic device where the floor binds.
+	dev := hw.NewAuroraPVC()
+	dev.Power.IdleClock = 0 // remove floor: governed FP64 must be ~1.2
+	g := NewGovernor(dev)
+	if math.Abs(ghz(g.OperatingClock(hw.VectorFP64))-1.20) > 0.02 {
+		t.Error("FP64 governed clock should be ~1.2 GHz without a floor")
+	}
+}
+
+func TestPowerAtInvertsOperatingClock(t *testing.T) {
+	dev := hw.NewAuroraPVC()
+	g := NewGovernor(dev)
+	f := g.OperatingClock(hw.VectorFP64)
+	p := g.PowerAt(hw.VectorFP64, f)
+	if math.Abs(p-dev.DomainCapW()) > 0.5 {
+		t.Errorf("power at governed clock = %.1f W, want ~%v W (cap)", p, dev.DomainCapW())
+	}
+	// Below the governed clock, power must be under the cap.
+	if g.PowerAt(hw.VectorFP64, f*0.9) >= dev.DomainCapW() {
+		t.Error("reducing frequency must reduce power")
+	}
+}
+
+func TestH100AndMI250RunAtMaxClock(t *testing.T) {
+	for _, dev := range []*hw.DeviceSpec{hw.NewH100(), hw.NewMI250()} {
+		g := NewGovernor(dev)
+		for _, w := range []hw.WorkloadClass{hw.VectorFP64, hw.VectorFP32, hw.MatrixLow} {
+			f := g.OperatingClock(w)
+			if f != dev.Power.MaxClock {
+				t.Errorf("%s %v clock = %v, want max %v", dev.Name, w, f, dev.Power.MaxClock)
+			}
+		}
+	}
+}
+
+func TestUnknownWorkloadDefaultsToMemoryWeight(t *testing.T) {
+	g := NewGovernor(hw.NewAuroraPVC())
+	f := g.OperatingClock(hw.WorkloadClass(99))
+	if f != g.OperatingClock(hw.MemoryBound) {
+		t.Error("unknown workload should use memory-bound weight")
+	}
+}
+
+func TestZeroWeightMeansMaxClock(t *testing.T) {
+	g := NewGovernor(hw.NewAuroraPVC())
+	if f := g.OperatingClock(hw.IdleWorkload); f != 1.6*units.GHz {
+		t.Errorf("idle workload clock = %v, want max", f)
+	}
+}
+
+func TestBestSustainedPeak(t *testing.T) {
+	g := NewGovernor(hw.NewAuroraPVC())
+	rate, class := g.BestSustainedPeak(hw.FP16)
+	if class != hw.MatrixEngine {
+		t.Errorf("FP16 best pipeline = %v, want matrix", class)
+	}
+	// Aurora stack XMX FP16 at ~1.2 GHz: 56 × 4096 × 1.2e9 ≈ 275 TF
+	// raw; the GEMM efficiency (perfmodel) brings this to the measured
+	// 207 TFlop/s.
+	if math.Abs(float64(rate)-275e12)/275e12 > 0.03 {
+		t.Errorf("Aurora stack FP16 matrix sustained peak = %v, want ~275 TF", rate)
+	}
+	_, c64 := g.BestSustainedPeak(hw.FP64)
+	if c64 != hw.VectorEngine {
+		t.Error("FP64 on PVC must use the vector pipeline")
+	}
+}
+
+// Cube-law sanity: doubling the power budget raises the governed clock by
+// 2^(1/3).
+func TestCubeLawScaling(t *testing.T) {
+	dev := hw.NewAuroraPVC()
+	dev.Power.MaxClock = 10 * units.GHz // uncap
+	dev.Power.IdleClock = 0
+	g1 := NewGovernor(dev)
+	f1 := g1.OperatingClock(hw.VectorFP64)
+	dev2 := hw.NewAuroraPVC()
+	dev2.Power.MaxClock = 10 * units.GHz
+	dev2.Power.IdleClock = 0
+	dev2.PowerCapW *= 2
+	g2 := NewGovernor(dev2)
+	f2 := g2.OperatingClock(hw.VectorFP64)
+	want := math.Cbrt(2.0)
+	if math.Abs(float64(f2)/float64(f1)-want) > 1e-9 {
+		t.Errorf("clock ratio = %v, want %v", float64(f2)/float64(f1), want)
+	}
+}

@@ -1,0 +1,243 @@
+// Package report renders the reproduction's outputs in the paper's
+// shapes: aligned text tables (Tables I–VI), CSV series for external
+// plotting, and ASCII bar charts with expectation markers for Figures
+// 1–4.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends one row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the aligned table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// CSV writes the table as comma-separated values (quoting cells that
+// contain commas or quotes).
+func (t *Table) CSV(w io.Writer) error {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, "\"", "\"\""))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Num formats a value the way the paper's tables do: 3 significant
+// digits, no exponent notation for table-scale magnitudes.
+func Num(v float64) string {
+	if v == 0 {
+		return "-"
+	}
+	av := math.Abs(v)
+	switch {
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// BarEntry is one bar of a relative-performance figure.
+type BarEntry struct {
+	Label    string
+	Value    float64 // measured relative FOM
+	Expected float64 // the "black bar"; 0 means no expectation
+}
+
+// BarChart renders Figures 2–4 style ASCII bars: one row per entry, the
+// bar scaled to width columns at maxValue, with '|' marking the expected
+// ratio and a reference line at 1.0.
+type BarChart struct {
+	Title string
+	Width int
+	Bars  []BarEntry
+}
+
+// NewBarChart creates a chart with a default width.
+func NewBarChart(title string) *BarChart { return &BarChart{Title: title, Width: 50} }
+
+// Add appends a bar.
+func (c *BarChart) Add(label string, value, expected float64) {
+	c.Bars = append(c.Bars, BarEntry{Label: label, Value: value, Expected: expected})
+}
+
+// Render writes the chart.
+func (c *BarChart) Render(w io.Writer) error {
+	maxVal := 1.0
+	for _, b := range c.Bars {
+		if b.Value > maxVal {
+			maxVal = b.Value
+		}
+		if b.Expected > maxVal {
+			maxVal = b.Expected
+		}
+	}
+	labelW := 0
+	for _, b := range c.Bars {
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	var sb strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", c.Title)
+	}
+	scale := float64(c.Width) / maxVal
+	oneCol := int(math.Round(1.0 * scale))
+	for _, b := range c.Bars {
+		fill := int(math.Round(b.Value * scale))
+		if fill > c.Width {
+			fill = c.Width
+		}
+		row := []byte(strings.Repeat("#", fill) + strings.Repeat(" ", c.Width-fill+2))
+		if oneCol > 0 && oneCol < len(row) {
+			if row[oneCol] == ' ' {
+				row[oneCol] = ':'
+			}
+		}
+		if b.Expected > 0 {
+			pos := int(math.Round(b.Expected * scale))
+			if pos >= len(row) {
+				pos = len(row) - 1
+			}
+			row[pos] = '|'
+		}
+		fmt.Fprintf(&sb, "%-*s %s %5.2fx", labelW, b.Label, string(row), b.Value)
+		if b.Expected > 0 {
+			fmt.Fprintf(&sb, " (expected %.2fx)", b.Expected)
+		}
+		sb.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// Series is an (x, y) data series for Figure 1-style plots.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	XLabel string
+	YLabel string
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// CSVMulti writes several series sharing an x-axis as one CSV: the x
+// column followed by one column per series (blank where a series lacks
+// the x value).
+func CSVMulti(w io.Writer, xHeader string, series ...*Series) error {
+	// Collect the union of x values in first-seen order.
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString(xHeader)
+	for _, s := range series {
+		b.WriteByte(',')
+		b.WriteString(s.Name)
+	}
+	b.WriteByte('\n')
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range series {
+			b.WriteByte(',')
+			for i, sx := range s.X {
+				if sx == x {
+					fmt.Fprintf(&b, "%g", s.Y[i])
+					break
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

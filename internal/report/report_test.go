@@ -1,0 +1,139 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Table II", "Metric", "One Stack", "One PVC")
+	tb.AddRow("DGEMM", "13", "26")
+	tb.AddRow("SGEMM", "21") // short row padded
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Table II", "Metric", "DGEMM", "26", "SGEMM", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns aligned: every data line has the same prefix width.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("line count = %d", len(lines))
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("plain", "with,comma")
+	tb.AddRow(`has"quote`, "x")
+	var b strings.Builder
+	if err := tb.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"with,comma"`) {
+		t.Errorf("comma cell not quoted: %s", out)
+	}
+	if !strings.Contains(out, `"has""quote"`) {
+		t.Errorf("quote cell not escaped: %s", out)
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("header wrong: %s", out)
+	}
+}
+
+func TestNumFormatting(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "-"},
+		{13, "13.0"},
+		{207, "207"},
+		{3.14159, "3.14"},
+		{2039, "2039"},
+		{0.5, "0.50"},
+	}
+	for _, c := range cases {
+		if got := Num(c.in); got != c.want {
+			t.Errorf("Num(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBarChartRender(t *testing.T) {
+	c := NewBarChart("Figure 2: Aurora relative to Dawn")
+	c.Add("miniBUDE", 0.80, 0.88)
+	c.Add("CloverLeaf", 0.93, 1.0)
+	c.Add("miniQMC", 0.85, 0) // no expectation bar
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Figure 2") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "0.80x") || !strings.Contains(out, "(expected 0.88x)") {
+		t.Errorf("missing values:\n%s", out)
+	}
+	// miniQMC row has no expectation annotation.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "miniQMC") && strings.Contains(line, "expected") {
+			t.Error("miniQMC should have no expectation")
+		}
+	}
+	// Expectation markers drawn.
+	if !strings.Contains(out, "|") {
+		t.Error("missing expectation marker")
+	}
+}
+
+func TestBarChartScalesAboveOne(t *testing.T) {
+	c := NewBarChart("")
+	c.Add("big", 7.5, 7.0)
+	c.Add("small", 0.5, 0.6)
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	big := strings.Count(lines[0], "#")
+	small := strings.Count(lines[1], "#")
+	if big <= small*10 {
+		t.Errorf("bar lengths not proportional: %d vs %d", big, small)
+	}
+}
+
+func TestSeriesAndCSVMulti(t *testing.T) {
+	a := &Series{Name: "PVC"}
+	a.Add(1024, 61)
+	a.Add(2048, 61)
+	h := &Series{Name: "H100"}
+	h.Add(1024, 32)
+	h.Add(4096, 32)
+	var b strings.Builder
+	if err := CSVMulti(&b, "bytes", a, h); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "bytes,PVC,H100\n") {
+		t.Errorf("header: %s", out)
+	}
+	if !strings.Contains(out, "1024,61,32") {
+		t.Errorf("shared x row missing: %s", out)
+	}
+	if !strings.Contains(out, "2048,61,\n") {
+		t.Errorf("missing-value row wrong: %s", out)
+	}
+	if !strings.Contains(out, "4096,,32") {
+		t.Errorf("H100-only row wrong: %s", out)
+	}
+}

@@ -1,0 +1,142 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// SVGPlot renders multi-series line charts as standalone SVG — enough to
+// regenerate Figure 1 (log₂ footprint on x, latency cycles on y) without
+// any plotting dependency.
+type SVGPlot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	LogX   bool
+	LogY   bool
+	Width  int
+	Height int
+	Series []*Series
+}
+
+// NewSVGPlot creates a plot with sensible defaults.
+func NewSVGPlot(title, xlabel, ylabel string) *SVGPlot {
+	return &SVGPlot{Title: title, XLabel: xlabel, YLabel: ylabel, Width: 860, Height: 520}
+}
+
+// seriesColors is a color cycle distinguishable in both print and screen.
+var seriesColors = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+// Render writes the SVG document.
+func (p *SVGPlot) Render(w io.Writer) error {
+	if len(p.Series) == 0 {
+		return fmt.Errorf("report: SVG plot has no series")
+	}
+	// Data ranges.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range p.Series {
+		if len(s.X) == 0 || len(s.X) != len(s.Y) {
+			return fmt.Errorf("report: series %q malformed", s.Name)
+		}
+		for i := range s.X {
+			x, y := p.tx(s.X[i]), p.ty(s.Y[i])
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// Layout.
+	const mL, mR, mT, mB = 70, 160, 40, 55
+	plotW := float64(p.Width - mL - mR)
+	plotH := float64(p.Height - mT - mB)
+	px := func(x float64) float64 { return mL + (p.tx(x)-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 { return float64(p.Height-mB) - (p.ty(y)-ymin)/(ymax-ymin)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", p.Width, p.Height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", p.Width, p.Height)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="16">%s</text>`+"\n", mL, escape(p.Title))
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", mL, p.Height-mB, p.Width-mR, p.Height-mB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", mL, mT, mL, p.Height-mB)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12">%s</text>`+"\n", (p.Width-mR)/2, p.Height-12, escape(p.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" font-size="12" transform="rotate(-90 16 %d)">%s</text>`+"\n", p.Height/2, p.Height/2, escape(p.YLabel))
+	// Gridlines and ticks: 6 x-ticks, 5 y-ticks in transformed space.
+	for i := 0; i <= 6; i++ {
+		tv := xmin + (xmax-xmin)*float64(i)/6
+		x := mL + (tv-xmin)/(xmax-xmin)*plotW
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#ddd"/>`+"\n", x, mT, x, p.Height-mB)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="10" text-anchor="middle">%s</text>`+"\n", x, p.Height-mB+16, p.fmtTick(tv, p.LogX))
+	}
+	for i := 0; i <= 5; i++ {
+		tv := ymin + (ymax-ymin)*float64(i)/5
+		y := float64(p.Height-mB) - (tv-ymin)/(ymax-ymin)*plotH
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n", mL, y, p.Width-mR, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="10" text-anchor="end">%s</text>`+"\n", mL-6, y+4, p.fmtTick(tv, p.LogY))
+	}
+	// Series.
+	for si, s := range p.Series {
+		color := seriesColors[si%len(seriesColors)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(pts, " "), color)
+		// Legend.
+		ly := mT + 18*si
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			p.Width-mR+10, ly, p.Width-mR+34, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12">%s</text>`+"\n", p.Width-mR+40, ly+4, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// tx and ty apply the axis transforms.
+func (p *SVGPlot) tx(v float64) float64 {
+	if p.LogX {
+		return math.Log2(math.Max(v, 1e-300))
+	}
+	return v
+}
+
+func (p *SVGPlot) ty(v float64) float64 {
+	if p.LogY {
+		return math.Log2(math.Max(v, 1e-300))
+	}
+	return v
+}
+
+// fmtTick renders a tick label, undoing the log transform.
+func (p *SVGPlot) fmtTick(v float64, logged bool) string {
+	if logged {
+		v = math.Pow(2, v)
+	}
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.0fG", v/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.0fM", v/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.0fk", v/(1<<10))
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

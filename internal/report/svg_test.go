@@ -1,0 +1,120 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSVGPlotRenders(t *testing.T) {
+	p := NewSVGPlot("Figure 1: Memory Latency", "footprint", "cycles")
+	p.LogX = true
+	a := &Series{Name: "Aurora"}
+	a.Add(1024, 61)
+	a.Add(1<<20, 300)
+	a.Add(1<<30, 810)
+	h := &Series{Name: "JLSE-H100"}
+	h.Add(1024, 32)
+	h.Add(1<<20, 260)
+	h.Add(1<<30, 658)
+	p.Series = append(p.Series, a, h)
+	var b strings.Builder
+	if err := p.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"<svg", "</svg>", "polyline", "Aurora", "JLSE-H100", "Figure 1", "footprint"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<polyline") != 2 {
+		t.Error("want two series polylines")
+	}
+}
+
+func TestSVGPlotValidation(t *testing.T) {
+	p := NewSVGPlot("t", "x", "y")
+	var b strings.Builder
+	if err := p.Render(&b); err == nil {
+		t.Error("no series should fail")
+	}
+	bad := &Series{Name: "bad", X: []float64{1, 2}, Y: []float64{1}}
+	p.Series = append(p.Series, bad)
+	if err := p.Render(&b); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+}
+
+func TestSVGEscapesMarkup(t *testing.T) {
+	p := NewSVGPlot("a<b & c", "x", "y")
+	s := &Series{Name: "s<1>"}
+	s.Add(1, 1)
+	s.Add(2, 2)
+	p.Series = append(p.Series, s)
+	var b strings.Builder
+	if err := p.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, "a<b") || strings.Contains(out, "s<1>") {
+		t.Error("markup not escaped")
+	}
+	if !strings.Contains(out, "a&lt;b &amp; c") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestSVGDegenerateRanges(t *testing.T) {
+	p := NewSVGPlot("flat", "x", "y")
+	s := &Series{Name: "const"}
+	s.Add(5, 7)
+	s.Add(5, 7) // zero x and y extent
+	p.Series = append(p.Series, s)
+	var b strings.Builder
+	if err := p.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "polyline") {
+		t.Error("flat series should still render")
+	}
+}
+
+func TestTickFormatting(t *testing.T) {
+	p := NewSVGPlot("", "", "")
+	if got := p.fmtTick(10, true); got != "1k" { // 2^10
+		t.Errorf("log tick = %q", got)
+	}
+	if got := p.fmtTick(512, false); got != "512" {
+		t.Errorf("linear tick = %q", got)
+	}
+	if got := p.fmtTick(30, true); got != "1G" { // 2^30
+		t.Errorf("giga tick = %q", got)
+	}
+}
+
+func TestSVGBarChart(t *testing.T) {
+	c := NewBarChart("Figure 2: Aurora relative to Dawn")
+	c.Add("miniBUDE One Stack", 0.80, 0.88)
+	c.Add("miniQMC One Stack", 0.85, 0)
+	s := NewSVGBarChart(c)
+	var b strings.Builder
+	if err := s.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"<svg", "rect", "miniBUDE", "0.80x", "1.0x", "stroke=\"black\""} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG bar chart missing %q", want)
+		}
+	}
+	// Two bars → two blue rects (plus the background rect).
+	if strings.Count(out, "#1f77b4") != 2 {
+		t.Error("want two bars")
+	}
+	if err := NewSVGBarChart(NewBarChart("empty")).Render(&b); err == nil {
+		t.Error("empty chart should fail")
+	}
+	if err := (&SVGBarChart{}).Render(&b); err == nil {
+		t.Error("nil chart should fail")
+	}
+}

@@ -1,0 +1,66 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// SVGBarChart renders a BarChart (Figures 2–4) as standalone SVG:
+// horizontal bars with a reference line at 1.0× and a black expectation
+// tick per bar — the figures' "black bars".
+type SVGBarChart struct {
+	Chart  *BarChart
+	Width  int
+	BarH   int
+	LabelW int
+}
+
+// NewSVGBarChart wraps a chart with default geometry.
+func NewSVGBarChart(c *BarChart) *SVGBarChart {
+	return &SVGBarChart{Chart: c, Width: 820, BarH: 24, LabelW: 240}
+}
+
+// Render writes the SVG document.
+func (s *SVGBarChart) Render(w io.Writer) error {
+	if s.Chart == nil || len(s.Chart.Bars) == 0 {
+		return fmt.Errorf("report: empty bar chart")
+	}
+	const mT, mB = 44, 30
+	n := len(s.Chart.Bars)
+	height := mT + n*(s.BarH+8) + mB
+	maxVal := 1.0
+	for _, b := range s.Chart.Bars {
+		maxVal = math.Max(maxVal, math.Max(b.Value, b.Expected))
+	}
+	plotW := float64(s.Width - s.LabelW - 90)
+	px := func(v float64) float64 { return float64(s.LabelW) + v/maxVal*plotW }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", s.Width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", s.Width, height)
+	fmt.Fprintf(&b, `<text x="12" y="24" font-size="15">%s</text>`+"\n", escape(s.Chart.Title))
+	// Reference line at 1.0×.
+	oneX := px(1.0)
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#999" stroke-dasharray="4 3"/>`+"\n",
+		oneX, mT-6, oneX, height-mB)
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="10" text-anchor="middle">1.0x</text>`+"\n", oneX, height-mB+14)
+	for i, bar := range s.Chart.Bars {
+		y := mT + i*(s.BarH+8)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" text-anchor="end">%s</text>`+"\n",
+			s.LabelW-8, y+s.BarH/2+4, escape(bar.Label))
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.1f" height="%d" fill="#1f77b4"/>`+"\n",
+			s.LabelW, y, px(bar.Value)-float64(s.LabelW), s.BarH)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11">%.2fx</text>`+"\n",
+			px(bar.Value)+6, y+s.BarH/2+4, bar.Value)
+		if bar.Expected > 0 {
+			ex := px(bar.Expected)
+			fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black" stroke-width="3"/>`+"\n",
+				ex, y-2, ex, y+s.BarH+2)
+		}
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

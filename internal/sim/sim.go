@@ -1,0 +1,309 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// underlying pvcsim. It supplies a virtual clock, an event queue with
+// stable FIFO tie-breaking, lightweight cooperative processes implemented
+// on goroutines (only one process ever runs at a time, so models need no
+// locking), condition signals, and counting resources with FIFO queueing.
+//
+// The kernel is deliberately small: bandwidth-sharing pipes, devices, and
+// interconnects are built on top of it in the fabric and gpusim packages.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"pvcsim/internal/units"
+)
+
+// Engine is a discrete-event simulator instance. The zero value is not
+// usable; call NewEngine.
+type Engine struct {
+	now     units.Seconds
+	queue   eventHeap
+	seq     uint64
+	parked  chan struct{}
+	live    int // processes started and not yet finished
+	blocked int // processes parked on a Signal or Resource (not the clock)
+	tracer  func(t units.Seconds, what string)
+}
+
+// NewEngine returns a ready-to-use simulation engine with the clock at 0.
+func NewEngine() *Engine {
+	return &Engine{parked: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() units.Seconds { return e.now }
+
+// SetTracer installs a callback invoked for significant kernel events
+// (process start/finish, resource waits). A nil tracer disables tracing.
+func (e *Engine) SetTracer(fn func(t units.Seconds, what string)) { e.tracer = fn }
+
+func (e *Engine) trace(format string, args ...any) {
+	if e.tracer != nil {
+		e.tracer(e.now, fmt.Sprintf(format, args...))
+	}
+}
+
+// event is a scheduled callback.
+type event struct {
+	t   units.Seconds
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Schedule queues fn to run after delay. A negative delay is clamped to
+// zero. Events at equal times run in scheduling order.
+func (e *Engine) Schedule(delay units.Seconds, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{t: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// Run processes events until the queue drains. It returns an error if
+// processes remain blocked with no pending event to wake them (a model
+// deadlock), which would otherwise manifest as silently missing results.
+func (e *Engine) Run() error {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.t
+		ev.fn()
+	}
+	if e.live > 0 {
+		return fmt.Errorf("sim: deadlock at t=%v: %d process(es) blocked with empty event queue", e.now, e.live)
+	}
+	return nil
+}
+
+// RunUntil processes events with timestamps <= deadline, then stops with
+// the clock at min(deadline, time of last processed event). Remaining
+// events stay queued; Run or RunUntil may be called again.
+func (e *Engine) RunUntil(deadline units.Seconds) {
+	for e.queue.Len() > 0 && e.queue[0].t <= deadline {
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.t
+		ev.fn()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Proc is a cooperative simulation process. Its methods may only be called
+// from within the process's own body function.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	done   chan struct{}
+}
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() units.Seconds { return p.eng.now }
+
+// Go starts body as a new process at the current virtual time. The body
+// runs cooperatively: it executes until it blocks in Hold, Wait, or
+// Acquire, at which point control returns to the engine.
+func (e *Engine) Go(name string, body func(*Proc)) *Proc {
+	p := &Proc{eng: e, name: name, resume: make(chan struct{}), done: make(chan struct{})}
+	e.live++
+	e.Schedule(0, func() {
+		e.trace("start %s", name)
+		go func() {
+			body(p)
+			e.live--
+			e.trace("finish %s", name)
+			close(p.done)
+			e.parked <- struct{}{}
+		}()
+		<-e.parked
+	})
+	return p
+}
+
+// yield transfers control from the process back to the engine and blocks
+// until the engine resumes this process.
+func (p *Proc) yield() {
+	p.eng.parked <- struct{}{}
+	<-p.resume
+}
+
+// wake resumes p from engine context and waits for it to park again.
+// It must only be called from inside an event callback.
+func (e *Engine) wake(p *Proc) {
+	p.resume <- struct{}{}
+	<-e.parked
+}
+
+// Hold suspends the process for d of virtual time.
+func (p *Proc) Hold(d units.Seconds) {
+	e := p.eng
+	e.Schedule(d, func() { e.wake(p) })
+	p.yield()
+}
+
+// Done returns a channel closed when the process body has returned. It is
+// intended for host-side code inspecting a finished simulation, not for
+// use inside processes.
+func (p *Proc) Done() <-chan struct{} { return p.done }
+
+// Signal is a broadcast condition: processes Wait on it, and Fire wakes
+// every current waiter at the time Fire is called. Later waiters need a
+// later Fire. Fire may be called from process bodies or event callbacks.
+type Signal struct {
+	eng     *Engine
+	waiters []*Proc
+}
+
+// NewSignal creates a signal bound to the engine.
+func NewSignal(e *Engine) *Signal { return &Signal{eng: e} }
+
+// Wait blocks the calling process until the next Fire.
+func (s *Signal) Wait(p *Proc) {
+	s.waiters = append(s.waiters, p)
+	p.eng.blocked++
+	p.yield()
+}
+
+// Fire schedules a wake-up, at the current time, for every process
+// currently waiting.
+func (s *Signal) Fire() {
+	woken := s.waiters
+	s.waiters = nil
+	e := s.eng
+	for _, p := range woken {
+		wp := p
+		e.blocked--
+		e.Schedule(0, func() { e.wake(wp) })
+	}
+}
+
+// Waiting reports the number of processes currently blocked on the signal.
+func (s *Signal) Waiting() int { return len(s.waiters) }
+
+// Resource is a counting resource (capacity >= 1) with FIFO queueing:
+// Acquire blocks until a unit is free, Release frees one and wakes the
+// head of the queue. It models exclusive or limited-concurrency hardware
+// such as a PCIe controller's DMA engines.
+type Resource struct {
+	eng   *Engine
+	cap   int
+	inUse int
+	queue []*Proc
+	name  string
+}
+
+// NewResource creates a resource with the given capacity (min 1).
+func NewResource(e *Engine, name string, capacity int) *Resource {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Resource{eng: e, cap: capacity, name: name}
+}
+
+// Acquire obtains one unit, blocking the process in FIFO order if none is
+// free.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.cap {
+		r.inUse++
+		return
+	}
+	r.queue = append(r.queue, p)
+	r.eng.blocked++
+	r.eng.trace("wait %s on %s (%d queued)", p.name, r.name, len(r.queue))
+	p.yield()
+	// When woken, the unit has already been transferred to us by Release.
+}
+
+// TryAcquire obtains a unit without blocking; it reports success.
+func (r *Resource) TryAcquire() bool {
+	if r.inUse < r.cap {
+		r.inUse++
+		return true
+	}
+	return false
+}
+
+// Release frees one unit. If processes are queued, ownership passes
+// directly to the queue head, preserving FIFO fairness.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: Release of idle resource " + r.name)
+	}
+	if len(r.queue) > 0 {
+		head := r.queue[0]
+		r.queue = r.queue[1:]
+		r.eng.blocked--
+		e := r.eng
+		e.Schedule(0, func() { e.wake(head) })
+		return // unit transferred, inUse unchanged
+	}
+	r.inUse--
+}
+
+// InUse reports the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen reports the number of processes waiting.
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+// Barrier makes n processes rendezvous: each calls Arrive and blocks until
+// all n have arrived, at which point all are released at the same virtual
+// time. It is reusable across generations, matching MPI_Barrier semantics
+// in the mpirt package.
+type Barrier struct {
+	eng     *Engine
+	n       int
+	arrived int
+	sig     *Signal
+}
+
+// NewBarrier creates a barrier for n participants (min 1).
+func NewBarrier(e *Engine, n int) *Barrier {
+	if n < 1 {
+		n = 1
+	}
+	return &Barrier{eng: e, n: n, sig: NewSignal(e)}
+}
+
+// Arrive blocks until all participants of the current generation arrive.
+func (b *Barrier) Arrive(p *Proc) {
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.sig.Fire()
+		return
+	}
+	b.sig.Wait(p)
+}

@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBootstrapCI(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = 5 + rng.NormFloat64()
+	}
+	lo, hi, err := BootstrapCI(xs, 0.95, 2000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lo < 5 && 5 < hi) {
+		t.Errorf("95%% CI [%v, %v] should contain the true mean 5", lo, hi)
+	}
+	// Width ~ 2×1.96/sqrt(200) ≈ 0.28.
+	if w := hi - lo; w < 0.1 || w > 0.6 {
+		t.Errorf("CI width = %v, want ~0.28", w)
+	}
+	// Determinism.
+	lo2, hi2, _ := BootstrapCI(xs, 0.95, 2000, 7)
+	if lo != lo2 || hi != hi2 {
+		t.Error("same seed must give same CI")
+	}
+	if _, _, err := BootstrapCI(xs[:1], 0.95, 100, 1); err == nil {
+		t.Error("single sample should fail")
+	}
+	if _, _, err := BootstrapCI(xs, 1.5, 100, 1); err == nil {
+		t.Error("bad confidence should fail")
+	}
+}
+
+func TestAutocorrelation(t *testing.T) {
+	// A strongly autocorrelated AR(1) series vs white noise.
+	rng := rand.New(rand.NewSource(2))
+	n := 2000
+	ar := make([]float64, n)
+	white := make([]float64, n)
+	for i := 1; i < n; i++ {
+		ar[i] = 0.9*ar[i-1] + rng.NormFloat64()
+		white[i] = rng.NormFloat64()
+	}
+	rAR, err := Autocorrelation(ar, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rAR < 0.8 {
+		t.Errorf("AR(1) lag-1 autocorrelation = %v, want ~0.9", rAR)
+	}
+	rW, err := Autocorrelation(white, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rW) > 0.1 {
+		t.Errorf("white-noise autocorrelation = %v, want ~0", rW)
+	}
+	if _, err := Autocorrelation(ar, 0); err == nil {
+		t.Error("lag 0 should fail")
+	}
+	if _, err := Autocorrelation(ar, n); err == nil {
+		t.Error("lag >= n should fail")
+	}
+	if r, _ := Autocorrelation([]float64{3, 3, 3}, 1); r != 0 {
+		t.Error("constant series should report 0")
+	}
+}
+
+func TestBlockedStddev(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 1024
+	// Correlated series: naive SE underestimates; blocked SE larger.
+	ar := make([]float64, n)
+	for i := 1; i < n; i++ {
+		ar[i] = 0.8*ar[i-1] + rng.NormFloat64()
+	}
+	naive, err := BlockedStddev(ar, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked, err := BlockedStddev(ar, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(blocked > naive) {
+		t.Errorf("blocked SE %v should exceed naive %v on correlated data", blocked, naive)
+	}
+	if _, err := BlockedStddev(ar, 0); err == nil {
+		t.Error("zero block should fail")
+	}
+	if _, err := BlockedStddev(ar, n); err == nil {
+		t.Error("single block should fail")
+	}
+}
