@@ -1,0 +1,30 @@
+# Development targets. `make check` is the gate CI and contributors run
+# before merging: vet, full build, and the race-enabled test suite (the
+# parallel runner makes -race meaningful).
+
+GO ?= go
+
+.PHONY: check vet build test race bench artifacts clean
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem .
+
+artifacts: build
+	$(GO) run ./cmd/pvcbench -artifacts artifacts -jobs 0
+
+clean:
+	rm -rf artifacts

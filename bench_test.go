@@ -7,6 +7,7 @@
 package pvcsim
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -19,36 +20,60 @@ import (
 	"pvcsim/internal/mem"
 	"pvcsim/internal/microbench"
 	"pvcsim/internal/miniapps/cloverleaf"
-	"pvcsim/internal/miniapps/minibude"
 	"pvcsim/internal/miniapps/miniqmc"
-	"pvcsim/internal/miniapps/rimp2"
 	"pvcsim/internal/paper"
 	"pvcsim/internal/perfmodel"
+	"pvcsim/internal/runner"
 	"pvcsim/internal/topology"
 	"pvcsim/internal/units"
+	"pvcsim/internal/workload"
 )
 
-// --- Table II: one bench per microbenchmark family, regenerating the
-// Aurora and Dawn rows. ---
-
-func benchTableIIMetric(b *testing.B, metrics ...paper.Metric) {
+// benchCells runs a fixed cell set through a fresh runner each iteration
+// (a fresh runner so the memo cache never hides the simulation cost).
+func benchCells(b *testing.B, jobs int, cells []runner.Cell) {
 	b.Helper()
-	suites := []*microbench.Suite{
-		microbench.NewSuite(topology.NewAurora()),
-		microbench.NewSuite(topology.NewDawn()),
-	}
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		for _, s := range suites {
-			for _, m := range metrics {
-				for _, scope := range []paper.Scope{paper.OneStack, paper.OnePVC, paper.FullNode} {
-					if _, err := s.Run(m, scope); err != nil {
-						b.Fatal(err)
-					}
-				}
+		for _, res := range runner.New(jobs).Run(ctx, cells) {
+			if res.Err != nil {
+				b.Fatal(res.Err)
 			}
 		}
 	}
+}
+
+// registryCells resolves registry workloads by name into the cells over
+// the given systems.
+func registryCells(b *testing.B, systems []topology.System, names ...string) []runner.Cell {
+	b.Helper()
+	reg := workload.DefaultRegistry()
+	var cells []runner.Cell
+	for _, name := range names {
+		w, ok := reg.Get(name)
+		if !ok {
+			b.Fatalf("workload %q not registered", name)
+		}
+		for _, sys := range systems {
+			cells = append(cells, runner.Cell{System: sys, Workload: w})
+		}
+	}
+	return cells
+}
+
+var pvcPair = []topology.System{topology.Aurora, topology.Dawn}
+
+// --- Table II: one bench per microbenchmark family, regenerating the
+// Aurora and Dawn rows through the registry. ---
+
+func benchTableIIMetric(b *testing.B, metrics ...paper.Metric) {
+	b.Helper()
+	names := make([]string, len(metrics))
+	for i, m := range metrics {
+		names[i] = workload.MetricSlug(m)
+	}
+	benchCells(b, 1, registryCells(b, pvcPair, names...))
 }
 
 func BenchmarkTableII_PeakFlops(b *testing.B) {
@@ -74,18 +99,7 @@ func BenchmarkTableII_FFT(b *testing.B) {
 // --- Table III ---
 
 func BenchmarkTableIII_P2P(b *testing.B) {
-	suites := []*microbench.Suite{
-		microbench.NewSuite(topology.NewAurora()),
-		microbench.NewSuite(topology.NewDawn()),
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		for _, s := range suites {
-			if _, err := s.P2P(); err != nil {
-				b.Fatal(err)
-			}
-		}
-	}
+	benchCells(b, 1, registryCells(b, pvcPair, "p2p"))
 }
 
 // --- Table IV: reference characteristics through the device models. ---
@@ -110,75 +124,47 @@ func BenchmarkTableV_Characteristics(b *testing.B) {
 	}
 }
 
-// --- Table VI: one bench per workload, evaluating every published cell. ---
+// --- Table VI: one bench per workload, evaluating every published cell
+// through the registry. ---
 
-func BenchmarkTableVI_MiniBUDE(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		for _, sys := range topology.AllSystems() {
-			if fom, _ := minibude.FOM(sys); fom <= 0 {
-				b.Fatal("non-positive FOM")
-			}
-		}
-	}
+func benchTableVI(b *testing.B, name string) {
+	b.Helper()
+	benchCells(b, 1, registryCells(b, topology.AllSystems(), name))
 }
 
-func BenchmarkTableVI_CloverLeaf(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		for _, sys := range topology.AllSystems() {
-			node := topology.NewNode(sys)
-			for _, n := range []int{1, node.GPU.SubCount, node.TotalStacks()} {
-				if _, err := cloverleaf.FOM(sys, n); err != nil {
-					b.Fatal(err)
-				}
-			}
-		}
-	}
+func BenchmarkTableVI_MiniBUDE(b *testing.B)   { benchTableVI(b, "minibude") }
+func BenchmarkTableVI_CloverLeaf(b *testing.B) { benchTableVI(b, "cloverleaf") }
+func BenchmarkTableVI_MiniQMC(b *testing.B)    { benchTableVI(b, "miniqmc") }
+func BenchmarkTableVI_RIMP2(b *testing.B)      { benchTableVI(b, "minigamess") }
+func BenchmarkTableVI_OpenMC(b *testing.B)     { benchTableVI(b, "openmc") }
+func BenchmarkTableVI_HACC(b *testing.B)       { benchTableVI(b, "hacc") }
+
+// --- Registry: the full study cell set, serial vs parallel, plus the
+// memo-cache hit path. ---
+
+func BenchmarkRegistry_AllSerial(b *testing.B) {
+	benchCells(b, 1, runner.Cells(workload.DefaultRegistry()))
 }
 
-func BenchmarkTableVI_MiniQMC(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		for _, sys := range topology.AllSystems() {
-			node := topology.NewNode(sys)
-			for _, n := range []int{1, node.GPU.SubCount, node.TotalStacks()} {
-				if _, err := miniqmc.FOM(sys, n); err != nil {
-					b.Fatal(err)
-				}
-			}
-		}
-	}
+func BenchmarkRegistry_AllParallel(b *testing.B) {
+	benchCells(b, 0, runner.Cells(workload.DefaultRegistry()))
 }
 
-func BenchmarkTableVI_RIMP2(b *testing.B) {
-	systems := []topology.System{topology.Aurora, topology.Dawn, topology.JLSEH100}
-	for i := 0; i < b.N; i++ {
-		for _, sys := range systems {
-			node := topology.NewNode(sys)
-			for _, n := range []int{1, node.GPU.SubCount, node.TotalStacks()} {
-				if _, err := rimp2.FOM(sys, n); err != nil {
-					b.Fatal(err)
-				}
-			}
-		}
+func BenchmarkRegistry_CacheHit(b *testing.B) {
+	reg := workload.DefaultRegistry()
+	w, ok := reg.Get("dgemm")
+	if !ok {
+		b.Fatal("dgemm not registered")
 	}
-}
-
-func BenchmarkTableVI_OpenMC(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		for _, sys := range topology.AllSystems() {
-			node := topology.NewNode(sys)
-			if _, err := openmc.FOM(sys, node.TotalStacks()); err != nil {
-				b.Fatal(err)
-			}
-		}
+	r := runner.New(1)
+	ctx := context.Background()
+	if _, err := r.RunOne(ctx, topology.Aurora, w); err != nil {
+		b.Fatal(err)
 	}
-}
-
-func BenchmarkTableVI_HACC(b *testing.B) {
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		for _, sys := range topology.AllSystems() {
-			if _, err := hacc.FOM(sys); err != nil {
-				b.Fatal(err)
-			}
+		if _, err := r.RunOne(ctx, topology.Aurora, w); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

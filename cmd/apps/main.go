@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -16,8 +17,11 @@ import (
 
 	"pvcsim/internal/apps/hacc"
 	"pvcsim/internal/apps/openmc"
+	"pvcsim/internal/core"
+	"pvcsim/internal/expected"
 	"pvcsim/internal/paper"
 	"pvcsim/internal/report"
+	"pvcsim/internal/runner"
 	"pvcsim/internal/topology"
 )
 
@@ -26,8 +30,26 @@ func main() {
 	log.SetPrefix("apps: ")
 	skipCheck := flag.Bool("skip-selfcheck", false, "skip the physics self-checks")
 	keff := flag.Bool("keff", false, "run the OpenMC eigenvalue (k-effective) demonstration and exit")
+	list := flag.Bool("list", false, "enumerate the registered workloads and exit")
+	workloadName := flag.String("workload", "", "run one registered workload by name and exit")
+	jobs := flag.Int("jobs", 1, "parallel simulation workers; 0 = all CPUs")
 	flag.Parse()
 
+	study := core.NewParallelStudy(*jobs)
+	if *list {
+		if err := runner.List(os.Stdout, study.Registry()); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *workloadName != "" {
+		err := runner.RunNamed(context.Background(), os.Stdout, study.Runner(), study.Registry(),
+			*workloadName, nil, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *keff {
 		if err := runKeffDemo(); err != nil {
 			log.Fatal(err)
@@ -45,21 +67,22 @@ func main() {
 
 	t := report.NewTable("Table VI (applications): full-node figures of merit",
 		"Application", "System", "Full Node", "Paper")
-	for _, sys := range []topology.System{topology.Aurora, topology.JLSEH100, topology.JLSEMI250} {
-		node := topology.NewNode(sys)
-		v, err := openmc.FOM(sys, node.TotalStacks())
+	appFOM := func(w paper.Workload, sys topology.System) float64 {
+		v, ok, err := study.FOM(w, sys, expected.PerNode)
 		if err != nil {
 			log.Fatal(err)
 		}
-		t.AddRow("OpenMC", sys.String(), report.Num(v),
+		if !ok {
+			log.Fatalf("no full-node %s figure of merit for %s", w, sys)
+		}
+		return v
+	}
+	for _, sys := range []topology.System{topology.Aurora, topology.JLSEH100, topology.JLSEMI250} {
+		t.AddRow("OpenMC", sys.String(), report.Num(appFOM(paper.OpenMC, sys)),
 			report.Num(paper.TableVI[paper.OpenMC][sys].FullNode))
 	}
 	for _, sys := range topology.AllSystems() {
-		v, err := hacc.FOM(sys)
-		if err != nil {
-			log.Fatal(err)
-		}
-		t.AddRow("HACC", sys.String(), report.Num(v),
+		t.AddRow("HACC", sys.String(), report.Num(appFOM(paper.HACC, sys)),
 			report.Num(paper.TableVI[paper.HACC][sys].FullNode))
 	}
 	if err := t.Render(os.Stdout); err != nil {

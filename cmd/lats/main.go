@@ -4,10 +4,11 @@
 //
 // Usage:
 //
-//	lats [-csv] [-lo bytes] [-hi bytes] [-simulate footprint]
+//	lats [-csv] [-lo bytes] [-hi bytes] [-simulate footprint] [-jobs N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -16,8 +17,10 @@ import (
 	"pvcsim/internal/core"
 	"pvcsim/internal/microbench"
 	"pvcsim/internal/report"
+	"pvcsim/internal/runner"
 	"pvcsim/internal/topology"
 	"pvcsim/internal/units"
+	"pvcsim/internal/workload"
 )
 
 func main() {
@@ -28,6 +31,7 @@ func main() {
 	lo := flag.String("lo", "1 KiB", "sweep start footprint")
 	hi := flag.String("hi", "8 GB", "sweep end footprint")
 	simulate := flag.String("simulate", "", "cross-check one footprint with the execution-driven cache simulator")
+	jobs := flag.Int("jobs", 1, "parallel simulation workers; 0 = all CPUs")
 	flag.Parse()
 
 	loB, err := units.ParseBytes(*lo)
@@ -75,20 +79,29 @@ func main() {
 		return
 	}
 
+	// Run the (possibly custom-ranged) ladder on every system through
+	// the parallel runner; each system is one cell.
+	w := workload.NewLats(loB, hiB)
+	var cells []runner.Cell
+	for _, sys := range topology.AllSystems() {
+		cells = append(cells, runner.Cell{System: sys, Workload: w})
+	}
+	ladders := map[topology.System][]workload.Value{}
+	for _, res := range runner.New(*jobs).Run(context.Background(), cells) {
+		if res.Err != nil {
+			log.Fatal(res.Err)
+		}
+		ladders[res.System] = res.Result.Select("latency")
+	}
+
 	t := report.NewTable("Figure 1: memory access latency [cycles] (coalesced pointer chase)",
 		"Footprint", "Aurora", "Dawn", "JLSE-H100", "JLSE-MI250", "Aurora level")
-	suites := map[topology.System]*microbench.Suite{}
-	for _, sys := range topology.AllSystems() {
-		suites[sys] = microbench.NewSuite(topology.NewNode(sys))
-	}
-	ref := suites[topology.Aurora].Lats(loB, hiB)
-	for i, pt := range ref {
-		row := []string{units.Bytes(pt.Footprint).IEC()}
+	for i, pt := range ladders[topology.Aurora] {
+		row := []string{units.Bytes(pt.X).IEC()}
 		for _, sys := range topology.AllSystems() {
-			pts := suites[sys].Lats(loB, hiB)
-			row = append(row, fmt.Sprintf("%.0f", pts[i].Cycles))
+			row = append(row, fmt.Sprintf("%.0f", ladders[sys][i].Value))
 		}
-		row = append(row, pt.Level)
+		row = append(row, pt.Scope)
 		t.AddRow(row...)
 	}
 	if err := t.Render(os.Stdout); err != nil {

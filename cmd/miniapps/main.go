@@ -5,18 +5,21 @@
 //
 // Usage:
 //
-//	miniapps [-table 5|6] [-figure 2|3|4] [-csv]
+//	miniapps [-table 5|6] [-figure 2|3|4] [-csv] [-jobs N]
+//	miniapps -list
+//	miniapps -workload NAME
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
 	"pvcsim/internal/core"
-	"pvcsim/internal/miniapps/minibude"
 	"pvcsim/internal/report"
+	"pvcsim/internal/runner"
 	"pvcsim/internal/topology"
 )
 
@@ -28,14 +31,33 @@ func main() {
 	csv := flag.Bool("csv", false, "emit tables as CSV")
 	svg := flag.Bool("svg", false, "emit figures as standalone SVG instead of ASCII")
 	sweep := flag.Bool("sweep", false, "print the miniBUDE ppwi/work-group tuning surface and exit")
+	list := flag.Bool("list", false, "enumerate the registered workloads and exit")
+	workloadName := flag.String("workload", "", "run one registered workload by name and exit")
+	jobs := flag.Int("jobs", 1, "parallel simulation workers; 0 = all CPUs")
 	flag.Parse()
 
+	study := core.NewParallelStudy(*jobs)
+	if *list {
+		if err := runner.List(os.Stdout, study.Registry()); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *workloadName != "" {
+		err := runner.RunNamed(context.Background(), os.Stdout, study.Runner(), study.Registry(),
+			*workloadName, nil, *csv)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *sweep {
-		printBUDESweep()
+		if err := printBUDESweep(study); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 
-	study := core.NewStudy()
 	emitTable := func(t *report.Table) {
 		var err error
 		if *csv {
@@ -96,29 +118,36 @@ func main() {
 // printBUDESweep renders the mechanistic tuning surface behind the
 // paper's "combination of poses per work-item (ppwi) and work-group
 // sizes" search, per system: the occupancy model's register cliff and
-// dispatch-tail effects made visible.
-func printBUDESweep() {
+// dispatch-tail effects made visible. The surface comes from the
+// minibude-sweep registry workload.
+func printBUDESweep(study *core.Study) error {
+	w, ok := study.Registry().Get("minibude-sweep")
+	if !ok {
+		return fmt.Errorf("minibude-sweep not registered")
+	}
 	for _, sys := range []topology.System{topology.Aurora, topology.JLSEH100} {
-		best, sweep := minibude.FOM(sys)
+		res, err := study.Runner().RunOne(context.Background(), sys, w)
+		if err != nil {
+			return err
+		}
+		best, _ := res.Lookup("best", "")
 		t := report.NewTable(
-			fmt.Sprintf("miniBUDE tuning surface on %s (GInteractions/s; best %.1f)", sys, best),
+			fmt.Sprintf("miniBUDE tuning surface on %s (GInteractions/s; best %.1f)", sys, best.Value),
 			"ppwi", "wg=64", "wg=128", "wg=256")
-		byPPWI := map[int]map[int]float64{}
-		for _, pt := range sweep {
-			if byPPWI[pt.PPWI] == nil {
-				byPPWI[pt.PPWI] = map[int]float64{}
-			}
-			byPPWI[pt.PPWI][pt.WGSize] = pt.GInterS
+		cell := func(ppwi, wg int) float64 {
+			v, _ := res.Lookup(fmt.Sprintf("ppwi=%d", ppwi), fmt.Sprintf("wg=%d", wg))
+			return v.Value
 		}
 		for _, ppwi := range []int{1, 2, 4, 8, 16} {
 			t.AddRow(fmt.Sprint(ppwi),
-				report.Num(byPPWI[ppwi][64]),
-				report.Num(byPPWI[ppwi][128]),
-				report.Num(byPPWI[ppwi][256]))
+				report.Num(cell(ppwi, 64)),
+				report.Num(cell(ppwi, 128)),
+				report.Num(cell(ppwi, 256)))
 		}
 		if err := t.Render(os.Stdout); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Println()
 	}
+	return nil
 }

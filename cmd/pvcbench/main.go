@@ -5,30 +5,38 @@
 //
 // Usage:
 //
-//	pvcbench [-table N] [-system name] [-csv] [-experiments]
+//	pvcbench [-table N] [-system name] [-csv] [-experiments] [-jobs N]
+//	pvcbench -list
+//	pvcbench -workload NAME [-system name] [-jobs N] [-csv]
 //
-// With no flags it prints Tables I–IV for both PVC systems.
+// With no flags it prints Tables I–IV for both PVC systems. Every
+// experiment of the study is registered in the workload registry;
+// -list enumerates them and -workload runs one by name. -jobs fans
+// independent (system × workload) cells across a worker pool with
+// bit-identical output.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
 	"pvcsim/internal/core"
-	"pvcsim/internal/hw"
 	"pvcsim/internal/microbench"
-	"pvcsim/internal/perfmodel"
 	"pvcsim/internal/report"
+	"pvcsim/internal/runner"
 	"pvcsim/internal/topology"
+	"pvcsim/internal/units"
+	"pvcsim/internal/workload"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pvcbench: ")
 	table := flag.Int("table", 0, "print only one table (1-4); 0 = all")
-	system := flag.String("system", "", "restrict Table II to one system (aurora|dawn)")
+	system := flag.String("system", "", "restrict Table II (or -workload) to one system (aurora|dawn|h100|mi250)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	experiments := flag.Bool("experiments", false, "emit the EXPERIMENTS.md fidelity report and exit")
 	skipCheck := flag.Bool("skip-selfcheck", false, "skip the host kernel self-checks")
@@ -36,9 +44,36 @@ func main() {
 	frontier := flag.Bool("frontier", false, "emit the Frontier future-work outlook and exit")
 	artifacts := flag.String("artifacts", "", "write the complete artifact (all tables, figures, EXPERIMENTS.md) into this directory and exit")
 	energy := flag.Bool("energy", false, "emit the energy-to-solution comparison and exit")
+	list := flag.Bool("list", false, "enumerate the registered workloads and exit")
+	workloadName := flag.String("workload", "", "run one registered workload by name and exit")
+	jobs := flag.Int("jobs", 1, "parallel simulation workers; 0 = all CPUs")
 	flag.Parse()
 
-	study := core.NewStudy()
+	study := core.NewParallelStudy(*jobs)
+	if *list {
+		if err := runner.List(os.Stdout, study.Registry()); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	var only []topology.System
+	if *system != "" {
+		sys, err := topology.ParseSystem(*system)
+		if err != nil {
+			log.Fatal(err)
+		}
+		only = []topology.System{sys}
+	}
+
+	if *workloadName != "" {
+		err := runner.RunNamed(context.Background(), os.Stdout, study.Runner(), study.Registry(),
+			*workloadName, only, *csv)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *experiments {
 		if err := study.WriteExperimentsMarkdown(os.Stdout); err != nil {
 			log.Fatal(err)
@@ -65,7 +100,7 @@ func main() {
 		return
 	}
 	if *energy {
-		if err := printEnergy(); err != nil {
+		if err := printEnergy(study); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -80,12 +115,8 @@ func main() {
 	}
 
 	systems := []topology.System{topology.Aurora, topology.Dawn}
-	if *system != "" {
-		sys, err := parseSystem(*system)
-		if err != nil {
-			log.Fatal(err)
-		}
-		systems = []topology.System{sys}
+	if len(only) > 0 {
+		systems = only
 	}
 
 	emit := func(t *report.Table) {
@@ -125,40 +156,42 @@ func main() {
 	}
 }
 
+// fetch runs one registered workload on one system through the study's
+// memoizing runner.
+func fetch(study *core.Study, name string, sys topology.System) (workload.Result, error) {
+	w, ok := study.Registry().Get(name)
+	if !ok {
+		return workload.Result{}, fmt.Errorf("workload %q not registered", name)
+	}
+	return study.Runner().RunOne(context.Background(), sys, w)
+}
+
 // printSweep renders the Aurora latency-bandwidth curves for the three
 // D2D path kinds, the extension of Table III to small messages.
 func printSweep(study *core.Study) error {
-	suite := study.Suite(topology.Aurora)
+	res, err := fetch(study, "p2p-sweep", topology.Aurora)
+	if err != nil {
+		return err
+	}
 	t := report.NewTable("P2P message-size sweep (Aurora): bandwidth [GB/s] per path",
 		"Message", "Local (MDFI)", "Remote (Xe-Link)", "Remote extra-hop")
-	sizes := microbench.DefaultSweepSizes()
-	curves := map[string][]microbench.MsgSweepPoint{}
-	for _, k := range []struct {
-		name string
-		kind topology.PathKind
-	}{
-		{"local", topology.LocalStack},
-		{"remote", topology.RemoteDirect},
-		{"extra", topology.RemoteExtraHop},
-	} {
-		c, err := suite.P2PSweep(k.kind, sizes)
-		if err != nil {
-			return err
-		}
-		curves[k.name] = c
+	curves := map[string][]workload.Value{
+		"local":  res.Select("local"),
+		"remote": res.Select("remote"),
+		"extra":  res.Select("extra"),
 	}
-	for i, sz := range sizes {
-		t.AddRow(sz.String(),
-			report.Num(float64(curves["local"][i].Bandwidth)/1e9),
-			report.Num(float64(curves["remote"][i].Bandwidth)/1e9),
-			report.Num(float64(curves["extra"][i].Bandwidth)/1e9))
+	for i := range curves["local"] {
+		t.AddRow(curves["local"][i].Scope,
+			report.Num(curves["local"][i].Value),
+			report.Num(curves["remote"][i].Value),
+			report.Num(curves["extra"][i].Value))
 	}
 	if err := t.Render(os.Stdout); err != nil {
 		return err
 	}
 	for _, name := range []string{"local", "remote", "extra"} {
-		if n12, err := microbench.HalfPeakSize(curves[name]); err == nil {
-			fmt.Printf("n_1/2 (%s): %v\n", name, n12)
+		if v, ok := res.Lookup("n_1/2", name); ok {
+			fmt.Printf("n_1/2 (%s): %v\n", name, units.Bytes(v.Value))
 		}
 	}
 	return nil
@@ -167,46 +200,41 @@ func printSweep(study *core.Study) error {
 // printEnergy renders the full-node energy-to-solution comparison for a
 // fixed DGEMM and FP32-FMA workload (the TDP discussion of §VII made
 // quantitative).
-func printEnergy() error {
-	var models []*perfmodel.Model
-	for _, sys := range topology.AllSystems() {
-		models = append(models, perfmodel.New(topology.NewNode(sys)))
-	}
+func printEnergy(study *core.Study) error {
 	t := report.NewTable("Energy to solution (full node, 10 Pflop of work)",
 		"System", "Workload", "Time", "Power [W]", "Energy [kJ]", "GFlop/W")
-	for _, spec := range []struct {
-		name string
-		kind perfmodel.Kind
-		prec hw.Precision
-	}{
-		{"DGEMM", perfmodel.KindGEMM, hw.FP64},
-		{"FP32 FMA", perfmodel.KindPeakFlops, hw.FP32},
-	} {
-		out, err := perfmodel.EnergyComparison(models, spec.kind, spec.prec, 1e16)
-		if err != nil {
-			return err
-		}
-		for _, m := range models {
-			rep := out[m.Node.Name]
-			t.AddRow(m.Node.Name, spec.name, rep.Time.String(),
-				report.Num(rep.PowerW), report.Num(rep.EnergyJ/1e3),
-				report.Num(rep.OpsPerWatt/1e9))
+	for _, name := range []string{"DGEMM", "FP32 FMA"} {
+		for _, sys := range topology.AllSystems() {
+			res, err := fetch(study, "energy", sys)
+			if err != nil {
+				return err
+			}
+			get := func(scope string) (workload.Value, error) {
+				v, ok := res.Lookup(name, scope)
+				if !ok {
+					return workload.Value{}, fmt.Errorf("energy: no %s %s for %s", name, scope, sys)
+				}
+				return v, nil
+			}
+			tv, err := get("time")
+			if err != nil {
+				return err
+			}
+			pv, err := get("power")
+			if err != nil {
+				return err
+			}
+			ev, err := get("energy")
+			if err != nil {
+				return err
+			}
+			fv, err := get("efficiency")
+			if err != nil {
+				return err
+			}
+			t.AddRow(sys.String(), name, units.Seconds(tv.Value).String(),
+				report.Num(pv.Value), report.Num(ev.Value), report.Num(fv.Value))
 		}
 	}
 	return t.Render(os.Stdout)
-}
-
-func parseSystem(s string) (topology.System, error) {
-	switch s {
-	case "aurora":
-		return topology.Aurora, nil
-	case "dawn":
-		return topology.Dawn, nil
-	case "h100":
-		return topology.JLSEH100, nil
-	case "mi250":
-		return topology.JLSEMI250, nil
-	default:
-		return 0, fmt.Errorf("unknown system %q (want aurora|dawn|h100|mi250)", s)
-	}
 }

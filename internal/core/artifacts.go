@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -14,15 +15,36 @@ import (
 // 2–4 as text bar charts, and the EXPERIMENTS fidelity report — the
 // equivalent of running the artifact's run_table.sh / run_lats.sh /
 // mini-app scripts end to end.
-func (s *Study) WriteAllArtifacts(dir string) error {
+//
+// Every simulation cell is prefetched through the study's runner first
+// (in parallel when the study was built with NewParallelStudy), so the
+// rendering below is a pure cache-served view. If any artifact fails to
+// write, the files created by this call are removed so a half-written
+// directory is never left behind.
+func (s *Study) WriteAllArtifacts(dir string) (err error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
+	// Simulate everything up front, across the runner's workers.
+	if err := s.Prefetch(context.Background()); err != nil {
+		return err
+	}
+	var written []string
+	defer func() {
+		if err == nil {
+			return
+		}
+		for _, p := range written {
+			os.Remove(p)
+		}
+	}()
 	writeFile := func(name string, fn func(f *os.File) error) error {
-		f, err := os.Create(filepath.Join(dir, name))
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
 		if err != nil {
 			return err
 		}
+		written = append(written, path)
 		if err := fn(f); err != nil {
 			f.Close()
 			return fmt.Errorf("core: writing %s: %w", name, err)

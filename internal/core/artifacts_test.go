@@ -71,3 +71,47 @@ func TestWriteAllArtifactsBadDir(t *testing.T) {
 		t.Error("uncreatable dir should fail")
 	}
 }
+
+// TestWriteAllArtifactsPartialFailureCleansUp forces a mid-sequence write
+// failure (a directory squatting on an artifact filename makes os.Create
+// fail) and checks the files written before the failure are removed.
+func TestWriteAllArtifactsPartialFailureCleansUp(t *testing.T) {
+	dir := t.TempDir()
+	// table3.txt is written after table1.txt and the table2 files.
+	if err := os.Mkdir(filepath.Join(dir, "table3.txt"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewStudy().WriteAllArtifacts(dir); err == nil {
+		t.Fatal("expected a write failure")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "table3.txt" {
+			t.Errorf("partial artifact %s left behind after failure", e.Name())
+		}
+	}
+}
+
+// TestWriteAllArtifactsCleanupKeepsForeignFiles checks cleanup removes
+// only the files this call created, not pre-existing files in the
+// directory.
+func TestWriteAllArtifactsCleanupKeepsForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	foreign := filepath.Join(dir, "NOTES.txt")
+	if err := os.WriteFile(foreign, []byte("keep me"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "EXPERIMENTS.md"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewStudy().WriteAllArtifacts(dir); err == nil {
+		t.Fatal("expected a write failure")
+	}
+	b, err := os.ReadFile(foreign)
+	if err != nil || string(b) != "keep me" {
+		t.Fatalf("foreign file disturbed: %q, %v", b, err)
+	}
+}

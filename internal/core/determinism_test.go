@@ -1,0 +1,88 @@
+package core
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"sort"
+	"testing"
+
+	"pvcsim/internal/runner"
+	"pvcsim/internal/workload"
+)
+
+// readArtifacts loads every artifact file of a directory keyed by name.
+func readArtifacts(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string][]byte{}
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = b
+	}
+	return out
+}
+
+// TestArtifactsDeterministicAcrossJobs is the determinism regression
+// test: the complete rendered artifact (every table, CSV, figure, and
+// the fidelity report) must be byte-identical between a serial study and
+// one fanning cells across every CPU.
+func TestArtifactsDeterministicAcrossJobs(t *testing.T) {
+	serialDir, parallelDir := t.TempDir(), t.TempDir()
+	if err := NewStudy().WriteAllArtifacts(serialDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewParallelStudy(runtime.NumCPU()).WriteAllArtifacts(parallelDir); err != nil {
+		t.Fatal(err)
+	}
+	serial := readArtifacts(t, serialDir)
+	parallel := readArtifacts(t, parallelDir)
+	if len(serial) != len(parallel) {
+		t.Fatalf("artifact counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	var names []string
+	for name := range serial {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pb, ok := parallel[name]
+		if !ok {
+			t.Errorf("parallel run missing %s", name)
+			continue
+		}
+		if string(serial[name]) != string(pb) {
+			t.Errorf("%s differs between -jobs=1 and -jobs=%d", name, runtime.NumCPU())
+		}
+	}
+}
+
+// TestRegistryDeterministicAcrossRuns runs the full registry twice —
+// serial and parallel — and checks every cell's Result is identical,
+// covering workloads (sweeps, energy) that no table consumes.
+func TestRegistryDeterministicAcrossRuns(t *testing.T) {
+	reg := workload.DefaultRegistry()
+	ctx := context.Background()
+	serial := runner.New(1).RunAll(ctx, reg)
+	parallel := runner.New(runtime.NumCPU()).RunAll(ctx, reg)
+	for i := range serial {
+		if serial[i].Err != nil {
+			t.Fatalf("serial %s/%s: %v", serial[i].Name, serial[i].System, serial[i].Err)
+		}
+		if parallel[i].Err != nil {
+			t.Fatalf("parallel %s/%s: %v", parallel[i].Name, parallel[i].System, parallel[i].Err)
+		}
+		if !reflect.DeepEqual(serial[i].Result, parallel[i].Result) {
+			t.Errorf("%s on %s differs between serial and parallel runs",
+				serial[i].Name, serial[i].System)
+		}
+	}
+}

@@ -28,8 +28,8 @@ func (s *Study) FrontierOutlook() *report.Table {
 		fr, aurora, dawn   float64
 		frNode, auroraNode float64
 	}
-	aurora := s.suites[topology.Aurora].Model
-	dawn := s.suites[topology.Dawn].Model
+	aurora := perfmodel.New(topology.NewAurora())
+	dawn := perfmodel.New(topology.NewDawn())
 	rows := []row{
 		{
 			name:       "DGEMM [TFlop/s]",

@@ -3,45 +3,113 @@
 // systems, attaches the published values for comparison, and emits the
 // EXPERIMENTS.md fidelity report. It is the top-level API the command
 // line tools and examples drive.
+//
+// Since the workload-registry refactor the Study owns no simulation code
+// of its own: every number flows through the workload registry
+// (internal/workload) and the memoizing parallel runner
+// (internal/runner), so each (system, workload) cell is simulated exactly
+// once however many tables and figures view it, and NewParallelStudy
+// fans independent cells across a worker pool with bit-identical output.
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"sort"
+	"strings"
 
-	"pvcsim/internal/apps/hacc"
-	"pvcsim/internal/apps/openmc"
 	"pvcsim/internal/expected"
 	"pvcsim/internal/microbench"
-	"pvcsim/internal/miniapps/cloverleaf"
-	"pvcsim/internal/miniapps/minibude"
-	"pvcsim/internal/miniapps/miniqmc"
-	"pvcsim/internal/miniapps/rimp2"
 	"pvcsim/internal/paper"
 	"pvcsim/internal/report"
+	"pvcsim/internal/runner"
 	"pvcsim/internal/topology"
 	"pvcsim/internal/units"
+	"pvcsim/internal/workload"
 )
 
 // Study orchestrates the reproduction across the four systems.
 type Study struct {
-	suites    map[topology.System]*microbench.Suite
+	reg       *workload.Registry
+	runner    *runner.Runner
 	predictor *expected.Predictor
 }
 
-// NewStudy builds a study over the standard systems.
-func NewStudy() *Study {
-	s := &Study{suites: map[topology.System]*microbench.Suite{}, predictor: expected.NewPredictor()}
-	for _, sys := range topology.AllSystems() {
-		s.suites[sys] = microbench.NewSuite(topology.NewNode(sys))
+// NewStudy builds a serial study over the standard systems.
+func NewStudy() *Study { return NewParallelStudy(1) }
+
+// NewParallelStudy builds a study whose runner fans independent
+// (system × workload) cells across jobs workers; jobs <= 0 selects
+// runtime.NumCPU(). Output is bit-identical to the serial study.
+func NewParallelStudy(jobs int) *Study {
+	return &Study{
+		reg:       workload.DefaultRegistry(),
+		runner:    runner.New(jobs),
+		predictor: expected.NewPredictor(),
 	}
-	return s
 }
 
-// Suite returns the microbenchmark suite for a system.
-func (s *Study) Suite(sys topology.System) *microbench.Suite { return s.suites[sys] }
+// Registry exposes the workload registry backing the study.
+func (s *Study) Registry() *workload.Registry { return s.reg }
+
+// Runner exposes the memoizing executor backing the study.
+func (s *Study) Runner() *runner.Runner { return s.runner }
+
+// Suite returns a fresh microbenchmark suite for a system, for callers
+// that drive benchmark internals directly (message-size sweeps).
+func (s *Study) Suite(sys topology.System) *microbench.Suite {
+	return microbench.NewSuite(topology.NewNode(sys))
+}
+
+// result fetches one (workload, system) cell through the memoizing
+// runner.
+func (s *Study) result(name string, sys topology.System) (workload.Result, error) {
+	w, ok := s.reg.Get(name)
+	if !ok {
+		return workload.Result{}, fmt.Errorf("core: workload %q not registered", name)
+	}
+	return s.runner.RunOne(context.Background(), sys, w)
+}
+
+// tableCells lists every cell the paper's tables and figures consume —
+// the prefetch set of WriteAllArtifacts and the determinism tests.
+func (s *Study) tableCells() []runner.Cell {
+	var cells []runner.Cell
+	add := func(name string, systems ...topology.System) {
+		w, ok := s.reg.Get(name)
+		if !ok {
+			return
+		}
+		for _, sys := range systems {
+			cells = append(cells, runner.Cell{System: sys, Workload: w})
+		}
+	}
+	for _, m := range paper.TableIIMetrics() {
+		add(workload.MetricSlug(m), topology.Aurora, topology.Dawn)
+	}
+	add("p2p", topology.Aurora, topology.Dawn)
+	add("lats", topology.AllSystems()...)
+	for _, w := range paper.Workloads() {
+		if name, ok := workload.FOMName(w); ok {
+			add(name, topology.AllSystems()...)
+		}
+	}
+	return cells
+}
+
+// Prefetch simulates every cell the tables and figures need, in parallel
+// across the runner's workers. Subsequent table/figure calls are pure
+// cache-served views. The first error (if any) is returned.
+func (s *Study) Prefetch(ctx context.Context) error {
+	for _, res := range s.runner.Run(ctx, s.tableCells()) {
+		if res.Err != nil {
+			return res.Err
+		}
+	}
+	return nil
+}
 
 // TableI renders the microbenchmark catalogue.
 func (s *Study) TableI() *report.Table {
@@ -56,19 +124,35 @@ func (s *Study) TableI() *report.Table {
 	return t
 }
 
+// metricRow fetches the three Table II cells of one metric for a system.
+func (s *Study) metricRow(sys topology.System, m paper.Metric) ([3]float64, error) {
+	res, err := s.result(workload.MetricSlug(m), sys)
+	if err != nil {
+		return [3]float64{}, err
+	}
+	var row [3]float64
+	for i, sc := range workload.TableIIScopes {
+		v, ok := res.Lookup(string(m), sc.String())
+		if !ok {
+			return row, fmt.Errorf("core: %s missing %s cell for %s", m, sc, sys)
+		}
+		row[i] = v.Value
+	}
+	return row, nil
+}
+
 // TableII regenerates Table II for one PVC system, with the published
 // values alongside.
 func (s *Study) TableII(sys topology.System) (*report.Table, error) {
-	got, err := s.suites[sys].TableII()
-	if err != nil {
-		return nil, err
-	}
 	pub := paper.TableII[sys]
 	t := report.NewTable(
 		fmt.Sprintf("Table II (%s): microbenchmarks [TFlop/s, TB/s or GB/s as in the paper]", sys),
 		"Metric", "One Stack", "One PVC", "Full Node", "Paper (stack/PVC/node)")
 	for _, m := range paper.TableIIMetrics() {
-		row := got[m]
+		row, err := s.metricRow(sys, m)
+		if err != nil {
+			return nil, err
+		}
 		p := pub[m]
 		t.AddRow(string(m), report.Num(row[0]), report.Num(row[1]), report.Num(row[2]),
 			fmt.Sprintf("%s / %s / %s", report.Num(p[0]), report.Num(p[1]), report.Num(p[2])))
@@ -76,30 +160,44 @@ func (s *Study) TableII(sys topology.System) (*report.Table, error) {
 	return t, nil
 }
 
+// p2pRows lists the Table III rows in paper order; the names double as
+// the workload result's metric names.
+var p2pRows = []string{"Local Uni", "Local Bidir", "Remote Uni", "Remote Bidir"}
+
+// p2pRow fetches one Table III (one pair, all pairs) row for a system.
+func (s *Study) p2pRow(sys topology.System, name string) (one, all float64, err error) {
+	res, err := s.result("p2p", sys)
+	if err != nil {
+		return 0, 0, err
+	}
+	vOne, ok1 := res.Lookup(name, "One Pair")
+	vAll, ok2 := res.Lookup(name, "All Pairs")
+	if !ok1 || !ok2 {
+		return 0, 0, fmt.Errorf("core: p2p row %q missing for %s", name, sys)
+	}
+	return vOne.Value, vAll.Value, nil
+}
+
 // TableIII regenerates the point-to-point table for both PVC systems.
 func (s *Study) TableIII() (*report.Table, error) {
 	t := report.NewTable("Table III: stack-to-stack point-to-point [GB/s]",
 		"System", "Row", "One Pair", "All Pairs", "Paper (one/all)")
 	for _, sys := range []topology.System{topology.Aurora, topology.Dawn} {
-		got, err := s.suites[sys].P2P()
-		if err != nil {
-			return nil, err
-		}
 		pub := paper.TableIII[sys]
-		rows := []struct {
-			name     string
-			one, all float64
-			pOne     float64
-			pAll     float64
-		}{
-			{"Local Uni", got.LocalUniOne, got.LocalUniAll, pub.LocalUniOne, pub.LocalUniAll},
-			{"Local Bidir", got.LocalBidirOne, got.LocalBidirAll, pub.LocalBidirOne, pub.LocalBidirAll},
-			{"Remote Uni", got.RemoteUniOne, got.RemoteUniAll, pub.RemoteUniOne, pub.RemoteUniAll},
-			{"Remote Bidir", got.RemoteBidirOne, got.RemoteBidirAll, pub.RemoteBidirOne, pub.RemoteBidirAll},
+		pubRows := map[string][2]float64{
+			"Local Uni":    {pub.LocalUniOne, pub.LocalUniAll},
+			"Local Bidir":  {pub.LocalBidirOne, pub.LocalBidirAll},
+			"Remote Uni":   {pub.RemoteUniOne, pub.RemoteUniAll},
+			"Remote Bidir": {pub.RemoteBidirOne, pub.RemoteBidirAll},
 		}
-		for _, r := range rows {
-			t.AddRow(sys.String(), r.name, report.Num(r.one), report.Num(r.all),
-				fmt.Sprintf("%s / %s", report.Num(r.pOne), report.Num(r.pAll)))
+		for _, name := range p2pRows {
+			one, all, err := s.p2pRow(sys, name)
+			if err != nil {
+				return nil, err
+			}
+			p := pubRows[name]
+			t.AddRow(sys.String(), name, report.Num(one), report.Num(all),
+				fmt.Sprintf("%s / %s", report.Num(p[0]), report.Num(p[1])))
 		}
 	}
 	return t, nil
@@ -133,59 +231,24 @@ func (s *Study) TableV() *report.Table {
 	return t
 }
 
-// FOM evaluates one workload × system × granularity cell, mirroring the
-// coverage of Table VI (cells the paper leaves blank return ok=false;
-// configurations that failed in the paper — mini-GAMESS on MI250 —
-// return the corresponding error).
+// FOM evaluates one workload × system × granularity cell through the
+// registry, mirroring the coverage of Table VI (cells the paper leaves
+// blank return ok=false; configurations that failed in the paper —
+// mini-GAMESS on MI250 — are blank as published).
 func (s *Study) FOM(w paper.Workload, sys topology.System, g expected.Granularity) (float64, bool, error) {
-	node := topology.NewNode(sys)
-	n := 1
-	switch g {
-	case expected.PerGPU:
-		n = node.GPU.SubCount
-	case expected.PerNode:
-		n = node.TotalStacks()
-	}
-	switch w {
-	case paper.MiniBUDE:
-		// Not an MPI app: one-stack result only; "we doubled the
-		// single-Stack value to get a full PVC value".
-		fom, _ := minibude.FOM(sys)
-		switch g {
-		case expected.PerStack:
-			return fom, true, nil
-		case expected.PerGPU:
-			return fom * float64(node.GPU.SubCount), true, nil
-		default:
-			return 0, false, nil
-		}
-	case paper.CloverLeaf:
-		v, err := cloverleaf.FOM(sys, n)
-		return v, err == nil, err
-	case paper.MiniQMC:
-		v, err := miniqmc.FOM(sys, n)
-		return v, err == nil, err
-	case paper.MiniGAMESS:
-		v, err := rimp2.FOM(sys, n)
-		if err == rimp2.ErrUnsupported {
-			return 0, false, nil // blank cell, as published
-		}
-		return v, err == nil, err
-	case paper.OpenMC:
-		if g != expected.PerNode {
-			return 0, false, nil
-		}
-		v, err := openmc.FOM(sys, n)
-		return v, err == nil, err
-	case paper.HACC:
-		if g != expected.PerNode {
-			return 0, false, nil
-		}
-		v, err := hacc.FOM(sys)
-		return v, err == nil, err
-	default:
+	name, known := workload.FOMName(w)
+	if !known {
 		return 0, false, fmt.Errorf("core: unknown workload %q", w)
 	}
+	res, err := s.result(name, sys)
+	if err != nil {
+		return 0, false, err
+	}
+	v, ok := res.Lookup(string(w), g.String())
+	if !ok {
+		return 0, false, nil
+	}
+	return v.Value, true, nil
 }
 
 // TableVI regenerates the figure-of-merit table with published values.
@@ -231,18 +294,41 @@ func (s *Study) TableVI() (*report.Table, error) {
 	return t, nil
 }
 
+// latsResult fetches the Figure 1 ladder for a system.
+func (s *Study) latsResult(sys topology.System) (workload.Result, error) {
+	return s.result("lats", sys)
+}
+
 // Figure1 returns the memory-latency series of every system.
 func (s *Study) Figure1() []*report.Series {
 	var out []*report.Series
 	for _, sys := range topology.AllSystems() {
-		pts := s.suites[sys].Lats(microbench.LatsDefaultLo, microbench.LatsDefaultHi)
+		res, err := s.latsResult(sys)
+		if err != nil {
+			// The analytic ladder cannot fail on the standard systems;
+			// an empty series keeps the signature compatible.
+			continue
+		}
 		ser := &report.Series{Name: sys.String(), XLabel: "footprint [bytes]", YLabel: "latency [cycles]"}
-		for _, p := range pts {
-			ser.Add(float64(p.Footprint), p.Cycles)
+		for _, v := range res.Select("latency") {
+			ser.Add(v.X, v.Value)
 		}
 		out = append(out, ser)
 	}
 	return out
+}
+
+// latsPlateau returns the latency plateau of one hierarchy level.
+func (s *Study) latsPlateau(sys topology.System, level string) (float64, error) {
+	res, err := s.latsResult(sys)
+	if err != nil {
+		return 0, err
+	}
+	v, ok := res.Lookup("plateau", level)
+	if !ok {
+		return 0, fmt.Errorf("core: no %s plateau for %s", level, sys)
+	}
+	return v.Value, nil
 }
 
 // figureGrans lists the comparison granularities of Figures 2–4.
@@ -327,56 +413,69 @@ func (s *Study) Experiments() ([]Experiment, error) {
 	var out []Experiment
 	// Table II.
 	for _, sys := range []topology.System{topology.Aurora, topology.Dawn} {
-		got, err := s.suites[sys].TableII()
-		if err != nil {
-			return nil, err
-		}
 		for _, m := range paper.TableIIMetrics() {
+			row, err := s.metricRow(sys, m)
+			if err != nil {
+				return nil, err
+			}
 			for i, scope := range []paper.Scope{paper.OneStack, paper.OnePVC, paper.FullNode} {
 				out = append(out, Experiment{
 					ID:       "T2",
 					Name:     fmt.Sprintf("%s %s (%s)", sys, m, scope),
 					Paper:    paper.TableII[sys][m][i],
-					Measured: got[m][i],
+					Measured: row[i],
 				})
 			}
 		}
 	}
 	// Table III.
 	for _, sys := range []topology.System{topology.Aurora, topology.Dawn} {
-		got, err := s.suites[sys].P2P()
-		if err != nil {
-			return nil, err
-		}
 		pub := paper.TableIII[sys]
-		add := func(name string, g, p float64) {
-			if p == 0 {
-				return
-			}
-			out = append(out, Experiment{ID: "T3", Name: fmt.Sprintf("%s %s", sys, name), Paper: p, Measured: g})
+		pubRows := map[string][2]float64{
+			"Local Uni":    {pub.LocalUniOne, pub.LocalUniAll},
+			"Local Bidir":  {pub.LocalBidirOne, pub.LocalBidirAll},
+			"Remote Uni":   {pub.RemoteUniOne, pub.RemoteUniAll},
+			"Remote Bidir": {pub.RemoteBidirOne, pub.RemoteBidirAll},
 		}
-		add("local uni one", got.LocalUniOne, pub.LocalUniOne)
-		add("local uni all", got.LocalUniAll, pub.LocalUniAll)
-		add("local bidir one", got.LocalBidirOne, pub.LocalBidirOne)
-		add("local bidir all", got.LocalBidirAll, pub.LocalBidirAll)
-		add("remote uni one", got.RemoteUniOne, pub.RemoteUniOne)
-		add("remote uni all", got.RemoteUniAll, pub.RemoteUniAll)
-		add("remote bidir one", got.RemoteBidirOne, pub.RemoteBidirOne)
-		add("remote bidir all", got.RemoteBidirAll, pub.RemoteBidirAll)
+		for _, name := range p2pRows {
+			one, all, err := s.p2pRow(sys, name)
+			if err != nil {
+				return nil, err
+			}
+			p := pubRows[name]
+			add := func(suffix string, g, pv float64) {
+				if pv == 0 {
+					return
+				}
+				out = append(out, Experiment{
+					ID:   "T3",
+					Name: fmt.Sprintf("%s %s %s", sys, strings.ToLower(name), suffix),
+					Paper: pv, Measured: g,
+				})
+			}
+			add("one", one, p[0])
+			add("all", all, p[1])
+		}
 	}
 	// Figure 1 ratios.
-	pvc := s.suites[topology.Aurora]
 	for level, ratios := range paper.Figure1Ratios {
 		for _, other := range []struct {
 			name string
 			sys  topology.System
 		}{{"H100", topology.JLSEH100}, {"MI250", topology.JLSEMI250}} {
-			got := pvc.LatsPlateau(level) / s.suites[other.sys].LatsPlateau(level)
+			pvcPlateau, err := s.latsPlateau(topology.Aurora, level)
+			if err != nil {
+				return nil, err
+			}
+			otherPlateau, err := s.latsPlateau(other.sys, level)
+			if err != nil {
+				return nil, err
+			}
 			out = append(out, Experiment{
 				ID:       "F1",
 				Name:     fmt.Sprintf("PVC/%s %s latency ratio", other.name, level),
 				Paper:    ratios[other.name],
-				Measured: got,
+				Measured: pvcPlateau / otherPlateau,
 			})
 		}
 	}

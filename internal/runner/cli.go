@@ -1,0 +1,61 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+
+	"pvcsim/internal/report"
+	"pvcsim/internal/topology"
+	"pvcsim/internal/workload"
+)
+
+// List renders the registry as the -list table shared by the command
+// line tools: one row per workload with its systems and parameters.
+func List(out io.Writer, reg *workload.Registry) error {
+	t := report.NewTable("Registered workloads", "Name", "Systems", "Parameters", "Description")
+	for _, w := range reg.Workloads() {
+		var names []string
+		for _, sys := range w.Systems() {
+			names = append(names, sys.String())
+		}
+		t.AddRow(w.Name(), strings.Join(names, ","), workload.ParamsOf(w), workload.DescriptionOf(w))
+	}
+	return t.Render(out)
+}
+
+// RunNamed executes one registered workload (on the given systems, or on
+// every supported system when none are given) through the runner and
+// renders its self-describing results as a table — the -workload NAME
+// path shared by the command line tools.
+func RunNamed(ctx context.Context, out io.Writer, r *Runner, reg *workload.Registry,
+	name string, systems []topology.System, csv bool) error {
+	w, ok := reg.Get(name)
+	if !ok {
+		return fmt.Errorf("runner: unknown workload %q (use -list to enumerate; have %s)",
+			name, strings.Join(reg.SortedNames(), ", "))
+	}
+	if len(systems) == 0 {
+		systems = w.Systems()
+	}
+	var cells []Cell
+	for _, sys := range systems {
+		cells = append(cells, Cell{System: sys, Workload: w})
+	}
+	results := r.Run(ctx, cells)
+	t := report.NewTable(fmt.Sprintf("Workload %s: %s", name, workload.DescriptionOf(w)),
+		"System", "Metric", "Scope", "Value", "Unit", "Bound resource")
+	for _, res := range results {
+		if res.Err != nil {
+			return res.Err
+		}
+		for _, v := range res.Result.Values {
+			t.AddRow(res.System.String(), v.Metric, v.Scope, report.Num(v.Value), v.Unit, v.Bound)
+		}
+	}
+	if csv {
+		return t.CSV(out)
+	}
+	return t.Render(out)
+}

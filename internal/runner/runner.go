@@ -1,0 +1,191 @@
+// Package runner executes (system × workload) cells from the workload
+// registry across a worker pool. Every cell gets its own fresh
+// deterministic gpusim.Machine, so parallel runs are bit-identical to
+// serial ones; an in-process memo cache keyed by (system, workload,
+// params) guarantees no cell is ever simulated twice, however many
+// tables and figures view its result.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"pvcsim/internal/gpusim"
+	"pvcsim/internal/topology"
+	"pvcsim/internal/workload"
+)
+
+// Cell is one (system, workload) execution unit.
+type Cell struct {
+	System   topology.System
+	Workload workload.Workload
+}
+
+// CellResult is the outcome of one cell: the workload result or error,
+// wall-clock timing, and whether the memo cache served it.
+type CellResult struct {
+	System  topology.System
+	Name    string
+	Result  workload.Result
+	Err     error
+	Elapsed time.Duration
+	Cached  bool
+}
+
+// key identifies a memo entry: system, workload name, and parameters.
+type key struct {
+	sys    topology.System
+	name   string
+	params string
+}
+
+// entry is one memoized computation; done closes when res/err are final.
+type entry struct {
+	done    chan struct{}
+	res     workload.Result
+	err     error
+	elapsed time.Duration
+}
+
+// Runner is a memoizing parallel executor. The zero value is not usable;
+// call New.
+type Runner struct {
+	jobs int
+
+	mu   sync.Mutex
+	memo map[key]*entry
+}
+
+// New builds a runner with the given worker count; jobs <= 0 selects
+// runtime.NumCPU().
+func New(jobs int) *Runner {
+	if jobs <= 0 {
+		jobs = runtime.NumCPU()
+	}
+	return &Runner{jobs: jobs, memo: map[key]*entry{}}
+}
+
+// Jobs returns the worker count.
+func (r *Runner) Jobs() int { return r.jobs }
+
+// RunOne executes one cell (or returns its memoized result). The first
+// caller for a key computes it on a fresh machine; concurrent callers for
+// the same key wait for that computation rather than duplicating it.
+func (r *Runner) RunOne(ctx context.Context, sys topology.System, w workload.Workload) (workload.Result, error) {
+	res := r.cell(ctx, sys, w)
+	return res.Result, res.Err
+}
+
+// cell runs one cell through the memo cache.
+func (r *Runner) cell(ctx context.Context, sys topology.System, w workload.Workload) CellResult {
+	out := CellResult{System: sys, Name: w.Name()}
+	if !workload.Supports(w, sys) {
+		out.Err = fmt.Errorf("runner: workload %q does not run on %s (supported: %v)", w.Name(), sys, w.Systems())
+		return out
+	}
+	k := key{sys: sys, name: w.Name(), params: workload.ParamsOf(w)}
+
+	r.mu.Lock()
+	e, hit := r.memo[k]
+	if !hit {
+		e = &entry{done: make(chan struct{})}
+		r.memo[k] = e
+	}
+	r.mu.Unlock()
+
+	if hit {
+		select {
+		case <-e.done:
+			out.Result, out.Err, out.Elapsed, out.Cached = e.res, e.err, e.elapsed, true
+		case <-ctx.Done():
+			out.Err = ctx.Err()
+		}
+		return out
+	}
+
+	start := time.Now()
+	e.res, e.err = r.compute(ctx, sys, w)
+	e.elapsed = time.Since(start)
+	close(e.done)
+
+	// A cancelled computation must not poison the cache for later runs.
+	if e.err != nil && ctx.Err() != nil {
+		r.mu.Lock()
+		delete(r.memo, k)
+		r.mu.Unlock()
+	}
+
+	out.Result, out.Err, out.Elapsed = e.res, e.err, e.elapsed
+	return out
+}
+
+// compute runs the workload on a fresh deterministic machine.
+func (r *Runner) compute(ctx context.Context, sys topology.System, w workload.Workload) (workload.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return workload.Result{}, err
+	}
+	m, err := gpusim.New(topology.NewNode(sys))
+	if err != nil {
+		return workload.Result{}, fmt.Errorf("runner: machine for %s: %w", sys, err)
+	}
+	res, err := w.Run(ctx, m)
+	if err != nil {
+		return workload.Result{}, fmt.Errorf("runner: %s on %s: %w", w.Name(), sys, err)
+	}
+	return res, nil
+}
+
+// Run executes the cells across the worker pool and returns results in
+// input order regardless of completion order.
+func (r *Runner) Run(ctx context.Context, cells []Cell) []CellResult {
+	results := make([]CellResult, len(cells))
+	workers := r.jobs
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for wkr := 0; wkr < workers; wkr++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				c := cells[i]
+				if err := ctx.Err(); err != nil {
+					results[i] = CellResult{System: c.System, Name: c.Workload.Name(), Err: err}
+					continue
+				}
+				results[i] = r.cell(ctx, c.System, c.Workload)
+			}
+		}()
+	}
+	for i := range cells {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// Cells expands a registry into every (workload × supported system) cell
+// in registration order.
+func Cells(reg *workload.Registry) []Cell {
+	var out []Cell
+	for _, w := range reg.Workloads() {
+		for _, sys := range w.Systems() {
+			out = append(out, Cell{System: sys, Workload: w})
+		}
+	}
+	return out
+}
+
+// RunAll executes every cell of the registry.
+func (r *Runner) RunAll(ctx context.Context, reg *workload.Registry) []CellResult {
+	return r.Run(ctx, Cells(reg))
+}

@@ -51,6 +51,26 @@ func (s System) String() string {
 // AllSystems lists the four systems in the paper's column order.
 func AllSystems() []System { return []System{Aurora, Dawn, JLSEH100, JLSEMI250} }
 
+// ParseSystem resolves a user-supplied system name (command-line flag
+// spelling or the paper's table spelling, case-insensitive) to a System.
+// Unknown names produce an error listing the accepted spellings.
+func ParseSystem(name string) (System, error) {
+	switch strings.ToLower(name) {
+	case "aurora":
+		return Aurora, nil
+	case "dawn":
+		return Dawn, nil
+	case "h100", "jlse-h100":
+		return JLSEH100, nil
+	case "mi250", "jlse-mi250":
+		return JLSEMI250, nil
+	case "frontier":
+		return Frontier, nil
+	default:
+		return 0, fmt.Errorf("topology: unknown system %q (want aurora, dawn, h100, mi250 or frontier)", name)
+	}
+}
+
 // CPUSpec describes the host processors of a node.
 type CPUSpec struct {
 	Model          string

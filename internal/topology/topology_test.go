@@ -222,3 +222,27 @@ func TestStackIDString(t *testing.T) {
 		t.Error("StackID notation")
 	}
 }
+
+func TestParseSystem(t *testing.T) {
+	cases := map[string]System{
+		"aurora":     Aurora,
+		"Aurora":     Aurora,
+		"dawn":       Dawn,
+		"h100":       JLSEH100,
+		"JLSE-H100":  JLSEH100,
+		"mi250":      JLSEMI250,
+		"jlse-mi250": JLSEMI250,
+		"frontier":   Frontier,
+	}
+	for name, want := range cases {
+		got, err := ParseSystem(name)
+		if err != nil || got != want {
+			t.Errorf("ParseSystem(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "pvc", "aurora2"} {
+		if _, err := ParseSystem(bad); err == nil {
+			t.Errorf("ParseSystem(%q) accepted", bad)
+		}
+	}
+}

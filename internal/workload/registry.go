@@ -1,0 +1,29 @@
+package workload
+
+import (
+	"pvcsim/internal/microbench"
+	"pvcsim/internal/paper"
+)
+
+// DefaultRegistry builds the registry of every experiment of the study:
+// the fourteen Table II microbenchmark rows (E1–E5), the Table III
+// point-to-point benchmark (E6), the Figure 1 latency ladder (E7), the
+// six Table V/VI workloads (E10–E15, which also feed Figures 2–4), and
+// the extension sweeps (X1 P2P curves, X18 kernel-size sweep, the
+// miniBUDE tuning surface, X21 energy to solution).
+func DefaultRegistry() *Registry {
+	r := NewRegistry()
+	for _, m := range paper.TableIIMetrics() {
+		r.MustRegister(newMetricWorkload(m))
+	}
+	r.MustRegister(newP2PWorkload())
+	r.MustRegister(newLatsWorkload(microbench.LatsDefaultLo, microbench.LatsDefaultHi))
+	for _, w := range paper.Workloads() {
+		r.MustRegister(newFOMWorkload(w))
+	}
+	r.MustRegister(newP2PSweepWorkload())
+	r.MustRegister(newFMASweepWorkload())
+	r.MustRegister(newBUDESweepWorkload())
+	r.MustRegister(newEnergyWorkload())
+	return r
+}

@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"pvcsim/internal/expected"
+	"pvcsim/internal/gpusim"
+	"pvcsim/internal/paper"
+	"pvcsim/internal/topology"
+)
+
+func TestDefaultRegistryContents(t *testing.T) {
+	reg := DefaultRegistry()
+	// 14 Table II metrics + p2p + lats + 6 FOM workloads + p2p-sweep +
+	// fma-sweep + minibude-sweep + energy.
+	if got, want := reg.Len(), 14+1+1+6+4; got != want {
+		t.Fatalf("registry has %d workloads, want %d: %v", got, want, reg.Names())
+	}
+	for _, m := range paper.TableIIMetrics() {
+		w, ok := reg.Get(MetricSlug(m))
+		if !ok {
+			t.Fatalf("metric %s not registered", m)
+		}
+		if len(w.Systems()) != 2 {
+			t.Errorf("%s: systems %v, want the two PVC systems", m, w.Systems())
+		}
+	}
+	for _, pw := range paper.Workloads() {
+		name, ok := FOMName(pw)
+		if !ok {
+			t.Fatalf("no registry name for %s", pw)
+		}
+		if _, ok := reg.Get(name); !ok {
+			t.Fatalf("workload %s not registered", name)
+		}
+	}
+	// Registration order is stable and Names matches it.
+	names := reg.Names()
+	if names[0] != MetricSlug(paper.TableIIMetrics()[0]) {
+		t.Errorf("first workload = %q, want first Table II metric", names[0])
+	}
+	if got := len(reg.SortedNames()); got != reg.Len() {
+		t.Errorf("SortedNames has %d entries, want %d", got, reg.Len())
+	}
+}
+
+func TestRegistryDuplicate(t *testing.T) {
+	reg := NewRegistry()
+	w := New("dup", "", "", topology.AllSystems(),
+		func(ctx context.Context, m *gpusim.Machine) (Result, error) { return Result{}, nil })
+	if err := reg.Register(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(w); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if _, ok := reg.Get("missing"); ok {
+		t.Fatal("Get found an unregistered workload")
+	}
+}
+
+func TestResultLookupSelect(t *testing.T) {
+	res := Result{Values: []Value{
+		{Metric: "a", Scope: "x", Value: 1},
+		{Metric: "a", Scope: "y", Value: 2},
+		{Metric: "b", Scope: "", Value: 3},
+	}}
+	if v, ok := res.Lookup("a", "y"); !ok || v.Value != 2 {
+		t.Errorf("Lookup(a,y) = %v,%v", v, ok)
+	}
+	// Empty scope matches the first value of the metric.
+	if v, ok := res.Lookup("a", ""); !ok || v.Value != 1 {
+		t.Errorf("Lookup(a,<any>) = %v,%v", v, ok)
+	}
+	if _, ok := res.Lookup("a", "z"); ok {
+		t.Error("Lookup(a,z) found a nonexistent scope")
+	}
+	if got := res.Select("a"); len(got) != 2 {
+		t.Errorf("Select(a) returned %d values, want 2", len(got))
+	}
+}
+
+func TestSpecRunStampsIdentity(t *testing.T) {
+	w := New("stamp", "desc", "p=1", []topology.System{topology.Dawn},
+		func(ctx context.Context, m *gpusim.Machine) (Result, error) {
+			return Result{Values: []Value{{Metric: "m", Value: 42}}}, nil
+		})
+	mach := gpusim.MustNew(topology.NewDawn())
+	res, err := w.Run(context.Background(), mach)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload != "stamp" || res.System != topology.Dawn {
+		t.Errorf("identity = %q/%v, want stamp/Dawn", res.Workload, res.System)
+	}
+	if ParamsOf(w) != "p=1" || DescriptionOf(w) != "desc" {
+		t.Errorf("params/description not exposed: %q %q", ParamsOf(w), DescriptionOf(w))
+	}
+	if Supports(w, topology.Aurora) || !Supports(w, topology.Dawn) {
+		t.Error("Supports does not respect the system list")
+	}
+}
+
+func TestSpecRunHonorsContext(t *testing.T) {
+	w := New("ctx", "", "", []topology.System{topology.Aurora},
+		func(ctx context.Context, m *gpusim.Machine) (Result, error) {
+			t.Fatal("run closure called despite cancelled context")
+			return Result{}, nil
+		})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := w.Run(ctx, gpusim.MustNew(topology.NewAurora())); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestEvalFOMTableVICoverage checks EvalFOM produces a positive value for
+// every cell the paper publishes. (The model may also fill some cells the
+// paper leaves blank — e.g. a per-GPU miniQMC estimate on MI250 — which
+// the Table VI view filters out against the published coverage.)
+func TestEvalFOMTableVICoverage(t *testing.T) {
+	grans := map[expected.Granularity]func(paper.FOMRow) float64{
+		expected.PerStack: func(r paper.FOMRow) float64 { return r.OneStack },
+		expected.PerGPU:   func(r paper.FOMRow) float64 { return r.OneGPU },
+		expected.PerNode:  func(r paper.FOMRow) float64 { return r.FullNode },
+	}
+	for _, w := range paper.Workloads() {
+		for _, sys := range topology.AllSystems() {
+			pub, published := paper.TableVI[w][sys]
+			if !published {
+				continue
+			}
+			for g, get := range grans {
+				v, ok, err := EvalFOM(w, sys, g)
+				if err != nil {
+					t.Fatalf("%s %s %s: %v", w, sys, g, err)
+				}
+				if get(pub) != 0 && !ok {
+					t.Errorf("%s %s %s: blank cell where the paper has a value", w, sys, g)
+					continue
+				}
+				if ok && v <= 0 {
+					t.Errorf("%s %s %s: non-positive FOM %v", w, sys, g, v)
+				}
+			}
+		}
+	}
+	if _, _, err := EvalFOM(paper.Workload("bogus"), topology.Aurora, expected.PerStack); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestMetricSlugsUnique(t *testing.T) {
+	seen := map[string]paper.Metric{}
+	for _, m := range paper.TableIIMetrics() {
+		slug := MetricSlug(m)
+		if slug == "" {
+			t.Errorf("no slug for %s", m)
+		}
+		if prev, dup := seen[slug]; dup {
+			t.Errorf("slug %q shared by %s and %s", slug, prev, m)
+		}
+		seen[slug] = m
+	}
+}
+
+func TestFOMNameRoundTrip(t *testing.T) {
+	if _, ok := FOMName(paper.Workload("nope")); ok {
+		t.Fatal("FOMName accepted an unknown workload")
+	}
+	for _, w := range paper.Workloads() {
+		name, ok := FOMName(w)
+		if !ok || name == "" {
+			t.Fatalf("no name for %s", w)
+		}
+	}
+}
+
+func ExampleRegistry() {
+	reg := DefaultRegistry()
+	w, _ := reg.Get("triad")
+	fmt.Println(w.Name(), len(w.Systems()))
+	// Output: triad 2
+}
