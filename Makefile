@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench artifacts clean
+.PHONY: check vet build test race bench artifacts trace-demo clean
 
 check: vet build race
 
@@ -26,5 +26,13 @@ bench:
 artifacts: build
 	$(GO) run ./cmd/pvcbench -artifacts artifacts -jobs 0
 
+# Produce a Perfetto-loadable Chrome trace (ui.perfetto.dev) of one
+# mini-app cell: the decomposed CloverLeaf weak-scaling run, whose
+# timeline shows per-stack hydro kernels interleaved with halo-exchange
+# fabric flows.
+trace-demo: build
+	$(GO) run ./cmd/pvcbench -workload clover-scaling -system aurora -trace trace-demo.json
+	@echo "wrote trace-demo.json — load it at https://ui.perfetto.dev"
+
 clean:
-	rm -rf artifacts
+	rm -rf artifacts trace-demo.json

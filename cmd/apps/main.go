@@ -33,9 +33,17 @@ func main() {
 	list := flag.Bool("list", false, "enumerate the registered workloads and exit")
 	workloadName := flag.String("workload", "", "run one registered workload by name and exit")
 	jobs := flag.Int("jobs", 1, "parallel simulation workers; 0 = all CPUs")
+	var obsf runner.ObsFlags
+	obsf.Register(flag.CommandLine)
 	flag.Parse()
 
 	study := core.NewParallelStudy(*jobs)
+	obsf.Attach(study.Runner())
+	defer func() {
+		if err := obsf.Finish(os.Stderr); err != nil {
+			log.Fatal(err)
+		}
+	}()
 	if *list {
 		if err := runner.List(os.Stdout, study.Registry()); err != nil {
 			log.Fatal(err)

@@ -32,7 +32,14 @@ func main() {
 	hi := flag.String("hi", "8 GB", "sweep end footprint")
 	simulate := flag.String("simulate", "", "cross-check one footprint with the execution-driven cache simulator")
 	jobs := flag.Int("jobs", 1, "parallel simulation workers; 0 = all CPUs")
+	var obsf runner.ObsFlags
+	obsf.Register(flag.CommandLine)
 	flag.Parse()
+	defer func() {
+		if err := obsf.Finish(os.Stderr); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	loB, err := units.ParseBytes(*lo)
 	if err != nil {
@@ -62,6 +69,7 @@ func main() {
 	}
 
 	study := core.NewStudy()
+	obsf.Attach(study.Runner())
 	if *csv {
 		if err := study.LatsCSV(os.Stdout); err != nil {
 			log.Fatal(err)
@@ -86,8 +94,10 @@ func main() {
 	for _, sys := range topology.AllSystems() {
 		cells = append(cells, runner.Cell{System: sys, Workload: w})
 	}
+	r := runner.New(*jobs)
+	obsf.Attach(r)
 	ladders := map[topology.System][]workload.Value{}
-	for _, res := range runner.New(*jobs).Run(context.Background(), cells) {
+	for _, res := range r.Run(context.Background(), cells) {
 		if res.Err != nil {
 			log.Fatal(res.Err)
 		}

@@ -8,12 +8,16 @@
 //	pvcbench [-table N] [-system name] [-csv] [-experiments] [-jobs N]
 //	pvcbench -list
 //	pvcbench -workload NAME [-system name] [-jobs N] [-csv]
+//	pvcbench [-trace out.json] [-metrics out.json] ...
 //
 // With no flags it prints Tables I–IV for both PVC systems. Every
 // experiment of the study is registered in the workload registry;
 // -list enumerates them and -workload runs one by name. -jobs fans
 // independent (system × workload) cells across a worker pool with
-// bit-identical output.
+// bit-identical output. -trace records every computed cell's simulated
+// timeline as Chrome trace-event JSON and -metrics dumps the per-cell
+// counters; both use simulated timestamps only and are byte-identical
+// across -jobs settings.
 package main
 
 import (
@@ -47,9 +51,17 @@ func main() {
 	list := flag.Bool("list", false, "enumerate the registered workloads and exit")
 	workloadName := flag.String("workload", "", "run one registered workload by name and exit")
 	jobs := flag.Int("jobs", 1, "parallel simulation workers; 0 = all CPUs")
+	var obsf runner.ObsFlags
+	obsf.Register(flag.CommandLine)
 	flag.Parse()
 
 	study := core.NewParallelStudy(*jobs)
+	obsf.Attach(study.Runner())
+	defer func() {
+		if err := obsf.Finish(os.Stderr); err != nil {
+			log.Fatal(err)
+		}
+	}()
 	if *list {
 		if err := runner.List(os.Stdout, study.Registry()); err != nil {
 			log.Fatal(err)

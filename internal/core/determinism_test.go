@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"os"
 	"path/filepath"
@@ -9,6 +10,7 @@ import (
 	"sort"
 	"testing"
 
+	"pvcsim/internal/obs"
 	"pvcsim/internal/runner"
 	"pvcsim/internal/workload"
 )
@@ -84,5 +86,39 @@ func TestRegistryDeterministicAcrossRuns(t *testing.T) {
 			t.Errorf("%s on %s differs between serial and parallel runs",
 				serial[i].Name, serial[i].System)
 		}
+	}
+}
+
+// TestTraceDeterministicAcrossJobs is the observability determinism
+// test: the -trace and -metrics exports, which carry only simulated
+// quantities, must be byte-identical between -jobs=1 and -jobs=NumCPU
+// runs of the full registry.
+func TestTraceDeterministicAcrossJobs(t *testing.T) {
+	render := func(jobs int) (trace, metrics string) {
+		col := obs.NewCollector()
+		r := runner.New(jobs)
+		r.Observe(col)
+		for _, res := range r.RunAll(context.Background(), workload.DefaultRegistry()) {
+			if res.Err != nil {
+				t.Fatalf("jobs=%d %s/%s: %v", jobs, res.Name, res.System, res.Err)
+			}
+		}
+		rep := col.Report()
+		var tb, mb bytes.Buffer
+		if err := rep.WriteChromeTrace(&tb); err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.WriteMetrics(&mb); err != nil {
+			t.Fatal(err)
+		}
+		return tb.String(), mb.String()
+	}
+	serialTrace, serialMetrics := render(1)
+	parallelTrace, parallelMetrics := render(runtime.NumCPU())
+	if serialTrace != parallelTrace {
+		t.Errorf("-trace output differs between -jobs=1 and -jobs=%d", runtime.NumCPU())
+	}
+	if serialMetrics != parallelMetrics {
+		t.Errorf("-metrics output differs between -jobs=1 and -jobs=%d", runtime.NumCPU())
 	}
 }

@@ -448,8 +448,8 @@ func (s *Study) Experiments() ([]Experiment, error) {
 					return
 				}
 				out = append(out, Experiment{
-					ID:   "T3",
-					Name: fmt.Sprintf("%s %s %s", sys, strings.ToLower(name), suffix),
+					ID:    "T3",
+					Name:  fmt.Sprintf("%s %s %s", sys, strings.ToLower(name), suffix),
 					Paper: pv, Measured: g,
 				})
 			}
@@ -457,8 +457,11 @@ func (s *Study) Experiments() ([]Experiment, error) {
 			add("all", all, p[1])
 		}
 	}
-	// Figure 1 ratios.
-	for level, ratios := range paper.Figure1Ratios {
+	// Figure 1 ratios, innermost level first. Figure1Ratios is a map, so
+	// ranging over it directly would shuffle the report's row order from
+	// run to run.
+	for _, level := range []string{"L1", "L2", "HBM"} {
+		ratios := paper.Figure1Ratios[level]
 		for _, other := range []struct {
 			name string
 			sys  topology.System

@@ -14,7 +14,9 @@ package fabric
 import (
 	"fmt"
 	"math"
+	"sort"
 
+	"pvcsim/internal/obs"
 	"pvcsim/internal/sim"
 	"pvcsim/internal/units"
 )
@@ -41,6 +43,9 @@ type Flow struct {
 	cs        []*Constraint
 	done      *sim.Signal
 	finished  bool
+	seq       uint64        // admission order, breaks finish-order ties
+	size      float64       // total bytes, for the recorded span
+	start     units.Seconds // when the flow entered the network
 }
 
 // Finished reports whether the flow has completed.
@@ -58,7 +63,27 @@ type Network struct {
 	flows   map[*Flow]struct{}
 	lastT   units.Seconds
 	gen     uint64 // invalidates stale completion events
+	seq     uint64 // admission counter for deterministic finish order
 	epsilon float64
+	obs     obs.Recorder
+}
+
+// Observe attaches a recorder; every completed flow is emitted as a
+// span and admitted flows are counted (fabric.flows, fabric.bytes).
+func (n *Network) Observe(r obs.Recorder) { n.obs = r }
+
+// admit registers a flow with the network, stamping its admission order
+// and entry time.
+func (n *Network) admit(f *Flow) {
+	n.seq++
+	f.seq = n.seq
+	f.start = n.eng.Now()
+	for _, c := range f.cs {
+		c.flows[f] = struct{}{}
+	}
+	n.flows[f] = struct{}{}
+	obs.Count(n.obs, "fabric.flows", 1)
+	obs.Count(n.obs, "fabric.bytes", f.size)
 }
 
 // NewNetwork creates a flow network bound to the engine.
@@ -111,17 +136,14 @@ func (n *Network) Start(name string, size units.Bytes, latency units.Seconds, cs
 		return f
 	}
 	if latency > 0 {
-		f := &Flow{name: name, remaining: float64(size), cs: cs, done: sim.NewSignal(n.eng)}
+		f := &Flow{name: name, remaining: float64(size), size: float64(size), cs: cs, done: sim.NewSignal(n.eng)}
 		n.eng.Schedule(latency, func() {
 			if f.remaining <= 0 {
 				n.completePending(f)
 				return
 			}
 			n.advance()
-			for _, c := range cs {
-				c.flows[f] = struct{}{}
-			}
-			n.flows[f] = struct{}{}
+			n.admit(f)
 			n.reschedule()
 		})
 		return f
@@ -146,16 +168,13 @@ func (f *Flow) Wait(p *sim.Proc) {
 // start registers a flow and returns it; flows with no constraints
 // complete instantly.
 func (n *Network) start(name string, size units.Bytes, cs []*Constraint) *Flow {
-	f := &Flow{name: name, remaining: float64(size), cs: cs, done: sim.NewSignal(n.eng)}
+	f := &Flow{name: name, remaining: float64(size), size: float64(size), cs: cs, done: sim.NewSignal(n.eng)}
 	if len(cs) == 0 {
 		f.finished = true
 		return f
 	}
 	n.advance()
-	for _, c := range cs {
-		c.flows[f] = struct{}{}
-	}
-	n.flows[f] = struct{}{}
+	n.admit(f)
 	n.reschedule()
 	return f
 }
@@ -187,10 +206,19 @@ func (n *Network) reschedule() {
 	for {
 		// Complete drained flows first (may cascade: their departure
 		// frees bandwidth for the rest, handled by the rate recompute).
+		// Finish in admission order, not map order: simultaneous
+		// completions fire their signals in a reproducible sequence, so
+		// downstream wakeups — and any recorded trace — are identical
+		// run to run.
+		var drained []*Flow
 		for f := range n.flows {
 			if f.remaining <= n.epsilon {
-				n.finish(f)
+				drained = append(drained, f)
 			}
+		}
+		sort.Slice(drained, func(i, j int) bool { return drained[i].seq < drained[j].seq })
+		for _, f := range drained {
+			n.finish(f)
 		}
 		if len(n.flows) == 0 {
 			return
@@ -246,6 +274,10 @@ func (n *Network) finish(f *Flow) {
 		delete(c.flows, f)
 	}
 	delete(n.flows, f)
+	obs.Emit(n.obs, obs.Span{
+		Name: f.name, Cat: "flow", GPU: -1, Stack: -1,
+		Start: f.start, End: n.eng.Now(), Bytes: units.Bytes(f.size),
+	})
 	f.done.Fire()
 }
 

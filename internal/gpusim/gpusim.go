@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"pvcsim/internal/fabric"
+	"pvcsim/internal/obs"
 	"pvcsim/internal/perfmodel"
 	"pvcsim/internal/sim"
 	"pvcsim/internal/topology"
@@ -30,7 +31,21 @@ type Machine struct {
 	peerLinks map[stackPair]*fabric.Link
 	queues    map[topology.StackID]*sim.Resource
 	rec       *Recorder
+	obs       obs.Recorder
 }
+
+// Observe attaches an observability recorder to the machine and
+// propagates it to the performance model (flops/throttle counters) and
+// the fabric network (flow spans). Pass nil to detach.
+func (m *Machine) Observe(r obs.Recorder) {
+	m.obs = r
+	m.Model.Observe(r)
+	m.Net.Observe(r)
+}
+
+// Observer returns the attached recorder (nil when disabled), so
+// machine-building helpers can inherit it.
+func (m *Machine) Observer() obs.Recorder { return m.obs }
 
 // stackPair is an unordered pair of subdevices keyed canonically.
 type stackPair struct {
@@ -149,7 +164,7 @@ func (s *Stack) LaunchKernel(p *sim.Proc, prof perfmodel.Profile) {
 	q.Acquire(p)
 	start := p.Now()
 	p.Hold(s.m.Model.SubdeviceTime(prof))
-	s.m.record(prof.Name, "kernel", s.ID, start, p.Now(), prof.MemBytes)
+	s.m.record(prof.Name, "kernel", s.ID, start, p.Now(), prof.MemBytes, prof.Flops)
 	q.Release()
 }
 
@@ -165,7 +180,7 @@ func (s *Stack) MemcpyH2D(p *sim.Proc, size units.Bytes) {
 	cs := append(c.pcie.Dir(false), s.m.poolH2D, s.m.poolBidir)
 	start := p.Now()
 	s.m.Net.Transfer(p, fmt.Sprintf("h2d:%v", s.ID), size, c.pcie.Latency, cs...)
-	s.m.record("memcpy", "h2d", s.ID, start, p.Now(), size)
+	s.m.record("memcpy", "h2d", s.ID, start, p.Now(), size, 0)
 }
 
 // MemcpyD2H transfers size bytes from the stack to pinned host memory.
@@ -174,7 +189,7 @@ func (s *Stack) MemcpyD2H(p *sim.Proc, size units.Bytes) {
 	cs := append(c.pcie.Dir(true), s.m.poolD2H, s.m.poolBidir)
 	start := p.Now()
 	s.m.Net.Transfer(p, fmt.Sprintf("d2h:%v", s.ID), size, c.pcie.Latency, cs...)
-	s.m.record("memcpy", "d2h", s.ID, start, p.Now(), size)
+	s.m.record("memcpy", "d2h", s.ID, start, p.Now(), size, 0)
 }
 
 // MemcpyD2D transfers size bytes from this stack to dst, routed per the
@@ -184,11 +199,13 @@ func (s *Stack) MemcpyD2H(p *sim.Proc, size units.Bytes) {
 // pairs (§IV-A4).
 func (s *Stack) MemcpyD2D(p *sim.Proc, dst topology.StackID, size units.Bytes) error {
 	kind := s.m.Node.Route(s.ID, dst)
+	start := p.Now()
 	switch kind {
 	case topology.SameStack:
 		// Local copy at memory bandwidth: two passes (read + write).
 		t := units.TimeToMove(2*size, units.ByteRate(float64(s.m.Node.GPU.Sub.MemBWSustained)))
 		p.Hold(t)
+		s.m.record("memcpy", "d2d", s.ID, start, p.Now(), size, 0)
 		return nil
 	case topology.LocalStack:
 		c := s.m.cards[s.ID.GPU]
@@ -196,7 +213,9 @@ func (s *Stack) MemcpyD2D(p *sim.Proc, dst topology.StackID, size units.Bytes) e
 			return fmt.Errorf("gpusim: %s has no internal link", s.m.Node.Name)
 		}
 		rev := s.ID.Stack > dst.Stack
+		s.m.countHops(kind)
 		s.m.Net.Transfer(p, fmt.Sprintf("d2d:%v->%v", s.ID, dst), size, c.internal.Latency, c.internal.Dir(rev)...)
+		s.m.record("memcpy", "d2d", s.ID, start, p.Now(), size, 0)
 		return nil
 	case topology.RemoteDirect, topology.RemoteExtraHop:
 		link := s.m.peerLink(s.ID, dst)
@@ -212,11 +231,27 @@ func (s *Stack) MemcpyD2D(p *sim.Proc, dst topology.StackID, size units.Bytes) e
 				latency += c.internal.Latency
 			}
 		}
+		s.m.countHops(kind)
 		s.m.Net.Transfer(p, fmt.Sprintf("d2d:%v->%v", s.ID, dst), size, latency, cs...)
+		s.m.record("memcpy", "d2d", s.ID, start, p.Now(), size, 0)
 		return nil
 	default:
 		return fmt.Errorf("gpusim: unroutable path %v -> %v", s.ID, dst)
 	}
+}
+
+// countHops accumulates the fabric.hops counter for a routed transfer:
+// one hop for the in-card MDFI path or a direct peer link, two when the
+// driver adds the internal detour for cross-plane pairs.
+func (m *Machine) countHops(kind topology.PathKind) {
+	if m.obs == nil {
+		return
+	}
+	hops := 1.0
+	if kind == topology.RemoteExtraHop {
+		hops = 2
+	}
+	m.obs.Add("fabric.hops", hops)
 }
 
 // StartD2D begins a non-blocking device-to-device transfer and returns its
@@ -234,6 +269,7 @@ func (s *Stack) StartD2D(dst topology.StackID, size units.Bytes) (*fabric.Flow, 
 			return nil, fmt.Errorf("gpusim: %s has no internal link", s.m.Node.Name)
 		}
 		rev := s.ID.Stack > dst.Stack
+		s.m.countHops(kind)
 		return s.m.Net.Start(fmt.Sprintf("d2d:%v->%v", s.ID, dst), size, c.internal.Latency, c.internal.Dir(rev)...), nil
 	case topology.RemoteDirect, topology.RemoteExtraHop:
 		link := s.m.peerLink(s.ID, dst)
@@ -247,6 +283,7 @@ func (s *Stack) StartD2D(dst topology.StackID, size units.Bytes) (*fabric.Flow, 
 				latency += c.internal.Latency
 			}
 		}
+		s.m.countHops(kind)
 		return s.m.Net.Start(fmt.Sprintf("d2d:%v->%v", s.ID, dst), size, latency, cs...), nil
 	default:
 		return nil, fmt.Errorf("gpusim: unroutable path %v -> %v", s.ID, dst)

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 
+	"pvcsim/internal/obs"
 	"pvcsim/internal/topology"
 	"pvcsim/internal/units"
 )
@@ -98,12 +99,19 @@ func (m *Machine) SetRecorder(r *Recorder) { m.rec = r }
 // Recorder returns the attached recorder (nil when disabled).
 func (m *Machine) Recorder() *Recorder { return m.rec }
 
-// record is the internal hook used by the stack operations.
-func (m *Machine) record(name, kind string, st topology.StackID, start, end units.Seconds, bytes units.Bytes) {
-	if m.rec == nil {
-		return
+// record is the internal hook used by the stack operations. It feeds
+// both the legacy per-machine Recorder (examples/timeline) and, when
+// attached, the obs layer's per-cell trace.
+func (m *Machine) record(name, kind string, st topology.StackID, start, end units.Seconds, bytes units.Bytes, flops float64) {
+	if m.rec != nil {
+		m.rec.add(TraceEvent{Name: name, Kind: kind, Stack: st, Start: start, End: end, Bytes: bytes})
 	}
-	m.rec.add(TraceEvent{Name: name, Kind: kind, Stack: st, Start: start, End: end, Bytes: bytes})
+	if m.obs != nil {
+		m.obs.Span(obs.Span{
+			Name: name, Cat: kind, GPU: st.GPU, Stack: st.Stack,
+			Start: start, End: end, Bytes: bytes, Flops: flops,
+		})
+	}
 }
 
 // Summary renders a one-line-per-stack utilization digest.

@@ -19,14 +19,18 @@ import (
 	"math/rand"
 
 	"pvcsim/internal/hw"
+	"pvcsim/internal/obs"
 	"pvcsim/internal/units"
 )
 
 // Hierarchy is an ordered memory hierarchy (innermost first; the final
 // level is backing memory and must be able to hold any footprint).
+// Setting Obs records each ladder evaluation: mem.ladder_lookups plus
+// the per-level served fractions (mem.served.<level>).
 type Hierarchy struct {
 	Levels   []hw.CacheLevel
 	LineSize units.Bytes
+	Obs      obs.Recorder
 }
 
 // NewHierarchy builds a hierarchy from a subdevice spec with the
@@ -102,12 +106,16 @@ func (h *Hierarchy) AvgLatencyCycles(footprint units.Bytes) float64 {
 		}
 		if frac > prev {
 			total += (frac - prev) * lv.LatencyCycles
+			if h.Obs != nil {
+				h.Obs.Add("mem.served."+lv.Name, frac-prev)
+			}
 			prev = frac
 		}
 		if prev >= 1 {
 			break
 		}
 	}
+	obs.Count(h.Obs, "mem.ladder_lookups", 1)
 	return total
 }
 
@@ -305,3 +313,18 @@ func (c *CacheSim) HitCounts() []int64 {
 
 // Accesses returns the number of simulated accesses.
 func (c *CacheSim) Accesses() int64 { return c.accesses }
+
+// ReportTo dumps the simulator's aggregate statistics onto a recorder as
+// counters (cache.accesses plus cache.hits.<level>). Recording the
+// totals once, instead of instrumenting Access, keeps the per-access
+// hot loop untouched.
+func (c *CacheSim) ReportTo(r obs.Recorder) {
+	if r == nil {
+		return
+	}
+	r.Add("cache.accesses", float64(c.accesses))
+	for i, lv := range c.levels {
+		r.Add("cache.hits."+lv.name, float64(c.hits[i]))
+	}
+	r.Add("cache.hits.memory", float64(c.hits[len(c.levels)]))
+}

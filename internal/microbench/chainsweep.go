@@ -3,7 +3,6 @@ package microbench
 import (
 	"fmt"
 
-	"pvcsim/internal/gpusim"
 	"pvcsim/internal/hw"
 	"pvcsim/internal/perfmodel"
 	"pvcsim/internal/sim"
@@ -36,7 +35,7 @@ func (s *Suite) PeakFlopsSweep(prec ChainPrecision, works []float64) ([]ChainSwe
 		if work <= 0 {
 			return nil, fmt.Errorf("microbench: non-positive work %v", work)
 		}
-		m, err := gpusim.New(s.Node)
+		m, err := s.newMachine()
 		if err != nil {
 			return nil, err
 		}

@@ -24,6 +24,7 @@ const (
 // ladder in clock cycles, the y-axis of Figure 1.
 func (s *Suite) Lats(lo, hi units.Bytes) []LatsPoint {
 	h := mem.NewHierarchy(&s.Node.GPU.Sub)
+	h.Obs = s.Obs
 	var out []LatsPoint
 	for w := lo; w <= hi; w *= 2 {
 		out = append(out, LatsPoint{
@@ -63,5 +64,7 @@ func (s *Suite) LatsSimulated(footprint units.Bytes, seed int64) (float64, error
 		return 0, err
 	}
 	cs := mem.NewCacheSim(h, 16, mem.PolicyRandom)
-	return mem.SimulateChase(r, cs, 2), nil
+	avg := mem.SimulateChase(r, cs, 2)
+	cs.ReportTo(s.Obs)
+	return avg, nil
 }

@@ -3,7 +3,6 @@ package microbench
 import (
 	"fmt"
 
-	"pvcsim/internal/gpusim"
 	"pvcsim/internal/mpirt"
 	"pvcsim/internal/sim"
 	"pvcsim/internal/topology"
@@ -29,7 +28,7 @@ func (s *Suite) P2PSweep(kind topology.PathKind, sizes []units.Bytes) ([]MsgSwee
 	}
 	var out []MsgSweepPoint
 	for _, size := range sizes {
-		m, err := gpusim.New(s.Node)
+		m, err := s.newMachine()
 		if err != nil {
 			return nil, err
 		}

@@ -3,7 +3,6 @@ package microbench
 import (
 	"fmt"
 
-	"pvcsim/internal/gpusim"
 	"pvcsim/internal/mpirt"
 	"pvcsim/internal/perfmodel"
 	"pvcsim/internal/sim"
@@ -26,7 +25,7 @@ const (
 // bandwidth in TB/s. Each stack's kernel streams three 805 MB arrays
 // ("two loads, one store").
 func (s *Suite) Triad(n int) (float64, error) {
-	m, err := gpusim.New(s.Node)
+	m, err := s.newMachine()
 	if err != nil {
 		return 0, err
 	}
@@ -58,7 +57,7 @@ func (s *Suite) Triad(n int) (float64, error) {
 // returns aggregate bandwidth in GB/s: 500 MB per direction per stack
 // ("a total of 1 GB when transferred simultaneously in both directions").
 func (s *Suite) PCIe(dir Direction, n int) (float64, error) {
-	m, err := gpusim.New(s.Node)
+	m, err := s.newMachine()
 	if err != nil {
 		return 0, err
 	}
@@ -183,7 +182,7 @@ func (s *Suite) remotePairs() []pair {
 // using non-blocking MPI over the simulated fabric and returns the
 // aggregate bandwidth in GB/s.
 func (s *Suite) runPairs(pairs []pair, bidir bool) (float64, error) {
-	m, err := gpusim.New(s.Node)
+	m, err := s.newMachine()
 	if err != nil {
 		return 0, err
 	}

@@ -187,6 +187,13 @@ func WeakScalingBreakdown(sys topology.System, n, edge, steps int) (total, comm 
 	if err != nil {
 		return 0, 0, err
 	}
+	return WeakScalingBreakdownOn(m, n, edge, steps)
+}
+
+// WeakScalingBreakdownOn is WeakScalingBreakdown on a caller-supplied
+// machine, so a runner cell can observe the run (kernel spans, halo
+// flows, allreduce traffic) through the machine's attached recorder.
+func WeakScalingBreakdownOn(m *gpusim.Machine, n, edge, steps int) (total, comm units.Seconds, err error) {
 	c, err := mpirt.NewComm(m, n)
 	if err != nil {
 		return 0, 0, err

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// cell is one (workload, system, params) entry in a Collector.
+type cell struct {
+	trace *Trace
+	wall  time.Duration
+	err   string
+}
+
+// Collector aggregates the per-cell traces of one run. It is safe for
+// concurrent use by the runner's workers: each worker asks for its
+// cell's Trace, records into it single-threaded, then calls Finish.
+type Collector struct {
+	mu       sync.Mutex
+	cells    map[Key]*cell
+	memoHits int64
+	memoMiss int64
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{cells: map[Key]*cell{}}
+}
+
+// Cell returns a fresh Trace registered under k. A recomputation of the
+// same key (e.g. after the first attempt was cancelled) replaces the
+// earlier trace, so partial spans from abandoned attempts never leak
+// into the report.
+func (c *Collector) Cell(k Key) *Trace {
+	t := NewTrace()
+	c.mu.Lock()
+	c.cells[k] = &cell{trace: t}
+	c.mu.Unlock()
+	return t
+}
+
+// Finish records the cell's outcome: its wall-clock duration (summary
+// only, never exported) and its error, if any.
+func (c *Collector) Finish(k Key, wall time.Duration, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.cells[k]
+	if !ok {
+		e = &cell{trace: NewTrace()}
+		c.cells[k] = e
+	}
+	e.wall = wall
+	if err != nil {
+		e.err = err.Error()
+	}
+}
+
+// MemoHit notes that a cell was served from the runner's memo cache.
+func (c *Collector) MemoHit() {
+	c.mu.Lock()
+	c.memoHits++
+	c.mu.Unlock()
+}
+
+// MemoMiss notes that a cell was actually computed.
+func (c *Collector) MemoMiss() {
+	c.mu.Lock()
+	c.memoMiss++
+	c.mu.Unlock()
+}
+
+// Report snapshots the collector into a deterministic RunReport: cells
+// are sorted by (workload, system, params) regardless of completion
+// order, and each cell's spans and counters are in their canonical
+// order.
+func (c *Collector) Report() *RunReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]Key, 0, len(c.cells))
+	for k := range c.cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		if a.System != b.System {
+			return a.System < b.System
+		}
+		return a.Params < b.Params
+	})
+	rep := &RunReport{MemoHits: c.memoHits, MemoMisses: c.memoMiss}
+	for _, k := range keys {
+		e := c.cells[k]
+		rep.Cells = append(rep.Cells, CellReport{
+			Workload: k.Workload,
+			System:   k.System,
+			Params:   k.Params,
+			Error:    e.err,
+			Events:   e.trace.Len(),
+			SimEnd:   float64(e.trace.SimEnd()),
+			Counters: e.trace.Counters(),
+			Wall:     e.wall,
+			spans:    e.trace.Spans(),
+		})
+	}
+	return rep
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+)
+
+// CellReport is one cell's aggregated metrics. Wall is the measured
+// wall-clock duration of the computation; it is deliberately excluded
+// from the JSON export (and from String) because it varies run to run —
+// the machine-readable outputs must be byte-identical across -jobs
+// settings, so they carry only simulated quantities.
+type CellReport struct {
+	Workload string    `json:"workload"`
+	System   string    `json:"system"`
+	Params   string    `json:"params,omitempty"`
+	Error    string    `json:"error,omitempty"`
+	Events   int       `json:"events"`
+	SimEnd   float64   `json:"sim_end_s"`
+	Counters []Counter `json:"counters,omitempty"`
+
+	Wall  time.Duration `json:"-"`
+	spans []Span
+}
+
+// Spans returns the cell's spans in canonical order.
+func (c CellReport) Spans() []Span { return c.spans }
+
+// RunReport is the whole run's metrics: every cell plus the runner's
+// memo statistics. Memo hits are deterministic — with N requested cells
+// over K distinct keys the runner computes exactly K and serves N−K
+// from cache whatever the worker count — so they are safe to export.
+type RunReport struct {
+	MemoHits   int64        `json:"memo_hits"`
+	MemoMisses int64        `json:"memo_misses"`
+	Cells      []CellReport `json:"cells"`
+}
+
+// WriteMetrics writes the machine-readable metrics dump as indented
+// JSON. The output contains only simulated quantities and is
+// byte-identical across -jobs settings.
+func (r *RunReport) WriteMetrics(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// chromeEvent is one entry of the Chrome trace-event JSON format
+// (loadable in about:tracing and Perfetto). Timestamps and durations
+// are in microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// tid maps a span's device coordinates onto a Chrome thread id: one
+// track per subdevice, plus track 0 for spans not tied to a device
+// (fabric flows, host-side phases).
+func tid(s Span) int {
+	if s.GPU < 0 {
+		return 0
+	}
+	return 1 + s.GPU*100 + s.Stack
+}
+
+func tidName(s Span) string {
+	if s.GPU < 0 {
+		return "fabric"
+	}
+	return fmt.Sprintf("gpu %d stack %d", s.GPU, s.Stack)
+}
+
+// WriteChromeTrace writes every cell's spans as Chrome trace-event
+// JSON: one "process" per cell (named by workload@system), one "thread"
+// per subdevice, complete ("X") events stamped with simulated
+// microseconds. Deterministic: cells, spans, and metadata are all in
+// canonical order.
+func (r *RunReport) WriteChromeTrace(w io.Writer) error {
+	var events []chromeEvent
+	for pid, c := range r.Cells {
+		name := c.Workload + " @ " + c.System
+		if c.Params != "" {
+			name += " [" + c.Params + "]"
+		}
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid, TID: 0,
+			Args: map[string]any{"name": name},
+		})
+		seen := map[int]bool{}
+		for _, s := range c.spans {
+			if t := tid(s); !seen[t] {
+				seen[t] = true
+				events = append(events, chromeEvent{
+					Name: "thread_name", Ph: "M", PID: pid, TID: t,
+					Args: map[string]any{"name": tidName(s)},
+				})
+			}
+		}
+		for _, s := range c.spans {
+			dur := float64(s.Duration()) * 1e6
+			args := map[string]any{}
+			if s.Bytes != 0 {
+				args["bytes"] = float64(s.Bytes)
+			}
+			if s.Flops != 0 {
+				args["flops"] = s.Flops
+			}
+			if len(args) == 0 {
+				args = nil
+			}
+			events = append(events, chromeEvent{
+				Name: s.Name, Cat: s.Cat, Ph: "X",
+				TS: float64(s.Start) * 1e6, Dur: &dur,
+				PID: pid, TID: tid(s), Args: args,
+			})
+		}
+	}
+	type traceFile struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(traceFile{TraceEvents: events})
+}
+
+// Summary writes the human-facing run table: one line per cell with its
+// event count, simulated makespan, and wall-clock time, then the memo
+// totals. This is the only place wall-clock appears.
+func (r *RunReport) Summary(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "CELL\tEVENTS\tSIM END\tWALL")
+	var wall time.Duration
+	for _, c := range r.Cells {
+		name := c.Workload + " @ " + c.System
+		if c.Params != "" {
+			name += " [" + c.Params + "]"
+		}
+		status := ""
+		if c.Error != "" {
+			status = "  ERROR: " + c.Error
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.6gs\t%s%s\n",
+			name, c.Events, c.SimEnd, c.Wall.Round(time.Microsecond), status)
+		wall += c.Wall
+	}
+	fmt.Fprintf(tw, "total\t\t\t%s\n", wall.Round(time.Microsecond))
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "memo: %d computed, %d cached\n", r.MemoMisses, r.MemoHits)
+	return err
+}

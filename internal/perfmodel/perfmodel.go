@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"pvcsim/internal/hw"
+	"pvcsim/internal/obs"
 	"pvcsim/internal/power"
 	"pvcsim/internal/topology"
 	"pvcsim/internal/units"
@@ -248,6 +249,16 @@ type Model struct {
 	Gov  *power.Governor
 	Cal  *Calibration
 	Var  Variant
+
+	obs obs.Recorder
+}
+
+// Observe attaches a recorder to the model and its governor. Timed
+// launches then accumulate model.flops, model.mem_bytes, and — when the
+// governed clock sits below MaxClock — power.throttled_s residency.
+func (m *Model) Observe(r obs.Recorder) {
+	m.obs = r
+	m.Gov.Observe(r)
 }
 
 // New builds a model for the node with the default calibration.
@@ -338,6 +349,13 @@ func (m *Model) SubdeviceTime(p Profile) units.Seconds {
 	launch := p.Launch
 	if launch == 0 {
 		launch = DefaultLaunchOverhead
+	}
+	if m.obs != nil {
+		m.obs.Add("model.flops", p.Flops)
+		m.obs.Add("model.mem_bytes", float64(p.MemBytes))
+		if cl := m.Gov.ClockFor(p.Engine, p.Precision); cl < m.Node.GPU.Power.MaxClock {
+			m.obs.Add("power.throttled_s", float64(t+launch))
+		}
 	}
 	return t + launch
 }

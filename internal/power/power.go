@@ -18,16 +18,22 @@ import (
 	"math"
 
 	"pvcsim/internal/hw"
+	"pvcsim/internal/obs"
 	"pvcsim/internal/units"
 )
 
 // Governor computes operating frequencies for one device's power domains.
 type Governor struct {
 	dev *hw.DeviceSpec
+	obs obs.Recorder
 }
 
 // NewGovernor returns a governor for the device.
 func NewGovernor(dev *hw.DeviceSpec) *Governor { return &Governor{dev: dev} }
+
+// Observe attaches a recorder; every governed clock below MaxClock is
+// counted as a throttle event (power.throttle_events).
+func (g *Governor) Observe(r obs.Recorder) { g.obs = r }
 
 // weight returns the switching-energy weight for the workload class,
 // defaulting to the memory-bound weight for unknown classes so that
@@ -67,6 +73,9 @@ func (g *Governor) OperatingClock(w hw.WorkloadClass) units.Frequency {
 	f := units.Frequency(fGHz) * units.GHz
 	if f > max {
 		f = max
+	}
+	if f < max {
+		obs.Count(g.obs, "power.throttle_events", 1)
 	}
 	return f
 }

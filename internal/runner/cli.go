@@ -2,14 +2,88 @@ package runner
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"io"
+	"os"
 	"strings"
 
+	"pvcsim/internal/obs"
 	"pvcsim/internal/report"
 	"pvcsim/internal/topology"
 	"pvcsim/internal/workload"
 )
+
+// ObsFlags bundles the observability flags (-trace, -metrics) shared by
+// the command line tools: Register them on the flag set, Attach the
+// resulting collector to every runner the tool uses, and Finish once to
+// write the requested files plus a per-cell summary on stderr.
+type ObsFlags struct {
+	Trace   string
+	Metrics string
+	col     *obs.Collector
+}
+
+// Register declares the flags on the flag set.
+func (f *ObsFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Trace, "trace", "",
+		"write a Chrome trace-event JSON timeline of every computed cell to `file` (open in Perfetto / about:tracing)")
+	fs.StringVar(&f.Metrics, "metrics", "",
+		"write a machine-readable JSON metrics report (per-cell counters, simulated quantities only) to `file`")
+}
+
+// Enabled reports whether any observability output was requested.
+func (f *ObsFlags) Enabled() bool { return f.Trace != "" || f.Metrics != "" }
+
+// Attach wires one shared collector into the runners when an output was
+// requested; with neither flag set it attaches nothing, keeping the hot
+// path recorder-free.
+func (f *ObsFlags) Attach(rs ...*Runner) {
+	if !f.Enabled() {
+		return
+	}
+	if f.col == nil {
+		f.col = obs.NewCollector()
+	}
+	for _, r := range rs {
+		r.Observe(f.col)
+	}
+}
+
+// Finish writes the requested trace and metrics files and, when summary
+// is non-nil, the human-facing per-cell table. It is a no-op when
+// nothing was attached.
+func (f *ObsFlags) Finish(summary io.Writer) error {
+	if f.col == nil {
+		return nil
+	}
+	rep := f.col.Report()
+	write := func(path string, render func(io.Writer) error) error {
+		file, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := render(file); err != nil {
+			file.Close()
+			return err
+		}
+		return file.Close()
+	}
+	if f.Trace != "" {
+		if err := write(f.Trace, rep.WriteChromeTrace); err != nil {
+			return fmt.Errorf("runner: writing trace: %w", err)
+		}
+	}
+	if f.Metrics != "" {
+		if err := write(f.Metrics, rep.WriteMetrics); err != nil {
+			return fmt.Errorf("runner: writing metrics: %w", err)
+		}
+	}
+	if summary != nil {
+		return rep.Summary(summary)
+	}
+	return nil
+}
 
 // List renders the registry as the -list table shared by the command
 // line tools: one row per workload with its systems and parameters.

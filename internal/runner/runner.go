@@ -10,10 +10,12 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"pvcsim/internal/gpusim"
+	"pvcsim/internal/obs"
 	"pvcsim/internal/topology"
 	"pvcsim/internal/workload"
 )
@@ -42,12 +44,32 @@ type key struct {
 	params string
 }
 
-// entry is one memoized computation; done closes when res/err are final.
+// entry is one memoized computation; done closes when res/err are
+// final. cancelled marks a computation abandoned because its context
+// was cancelled: the entry is removed from the memo before done closes,
+// and waiters re-enter the cache instead of adopting the stale error.
 type entry struct {
-	done    chan struct{}
-	res     workload.Result
-	err     error
-	elapsed time.Duration
+	done      chan struct{}
+	res       workload.Result
+	err       error
+	elapsed   time.Duration
+	cancelled bool
+}
+
+// PanicError is the error a panicking Workload.Run is converted into:
+// the panic value plus the goroutine stack at the point of the panic.
+// The panic is contained to its cell — the process survives and
+// concurrent waiters on the same key receive this error.
+type PanicError struct {
+	Workload string
+	System   string
+	Value    any
+	Stack    []byte
+}
+
+// Error names the cell, the panic value, and the stack.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: %s on %s panicked: %v\n%s", e.Workload, e.System, e.Value, e.Stack)
 }
 
 // Runner is a memoizing parallel executor. The zero value is not usable;
@@ -57,6 +79,7 @@ type Runner struct {
 
 	mu   sync.Mutex
 	memo map[key]*entry
+	col  *obs.Collector
 }
 
 // New builds a runner with the given worker count; jobs <= 0 selects
@@ -70,6 +93,14 @@ func New(jobs int) *Runner {
 
 // Jobs returns the worker count.
 func (r *Runner) Jobs() int { return r.jobs }
+
+// Observe attaches a collector: every computed cell records its spans
+// and counters into collector.Cell(key), and memo hits/misses are
+// tallied. Pass nil to detach.
+func (r *Runner) Observe(c *obs.Collector) { r.col = c }
+
+// Collector returns the attached collector (nil when disabled).
+func (r *Runner) Collector() *obs.Collector { return r.col }
 
 // RunOne executes one cell (or returns its memoized result). The first
 // caller for a key computes it on a fresh machine; concurrent callers for
@@ -88,50 +119,90 @@ func (r *Runner) cell(ctx context.Context, sys topology.System, w workload.Workl
 	}
 	k := key{sys: sys, name: w.Name(), params: workload.ParamsOf(w)}
 
-	r.mu.Lock()
-	e, hit := r.memo[k]
-	if !hit {
-		e = &entry{done: make(chan struct{})}
-		r.memo[k] = e
-	}
-	r.mu.Unlock()
-
-	if hit {
-		select {
-		case <-e.done:
-			out.Result, out.Err, out.Elapsed, out.Cached = e.res, e.err, e.elapsed, true
-		case <-ctx.Done():
-			out.Err = ctx.Err()
+	for {
+		r.mu.Lock()
+		e, hit := r.memo[k]
+		if !hit {
+			e = &entry{done: make(chan struct{})}
+			r.memo[k] = e
 		}
+		r.mu.Unlock()
+
+		if hit {
+			select {
+			case <-e.done:
+				if e.cancelled {
+					// The first caller's context was cancelled before the
+					// computation finished; its entry is already out of
+					// the memo. Re-enter the cache (and possibly become
+					// the new first caller) unless we are cancelled too.
+					if err := ctx.Err(); err != nil {
+						out.Err = err
+						return out
+					}
+					continue
+				}
+				if r.col != nil {
+					r.col.MemoHit()
+				}
+				out.Result, out.Err, out.Elapsed, out.Cached = e.res, e.err, e.elapsed, true
+			case <-ctx.Done():
+				out.Err = ctx.Err()
+			}
+			return out
+		}
+
+		// First caller for the key: compute. The deferred block settles
+		// the entry on every path — including a panic escaping compute's
+		// own recovery — so e.done can never be left open to deadlock
+		// waiters.
+		start := time.Now()
+		func() {
+			defer func() {
+				e.elapsed = time.Since(start)
+				if e.err != nil && ctx.Err() != nil {
+					// Cancelled, not failed: drop the entry (before the
+					// close, so retrying waiters can't re-read it) and
+					// mark it so waiters retry instead of adopting it.
+					e.cancelled = true
+					r.mu.Lock()
+					delete(r.memo, k)
+					r.mu.Unlock()
+				}
+				close(e.done)
+			}()
+			e.res, e.err = r.compute(ctx, sys, w)
+		}()
+		if r.col != nil {
+			r.col.MemoMiss()
+			r.col.Finish(obs.Key{Workload: w.Name(), System: sys.String(), Params: k.params}, e.elapsed, e.err)
+		}
+		out.Result, out.Err, out.Elapsed = e.res, e.err, e.elapsed
 		return out
 	}
-
-	start := time.Now()
-	e.res, e.err = r.compute(ctx, sys, w)
-	e.elapsed = time.Since(start)
-	close(e.done)
-
-	// A cancelled computation must not poison the cache for later runs.
-	if e.err != nil && ctx.Err() != nil {
-		r.mu.Lock()
-		delete(r.memo, k)
-		r.mu.Unlock()
-	}
-
-	out.Result, out.Err, out.Elapsed = e.res, e.err, e.elapsed
-	return out
 }
 
-// compute runs the workload on a fresh deterministic machine.
-func (r *Runner) compute(ctx context.Context, sys topology.System, w workload.Workload) (workload.Result, error) {
+// compute runs the workload on a fresh deterministic machine. A panic
+// in the workload is recovered into a *PanicError carrying the panic
+// value and stack, so one broken cell cannot take down the process.
+func (r *Runner) compute(ctx context.Context, sys topology.System, w workload.Workload) (res workload.Result, err error) {
 	if err := ctx.Err(); err != nil {
 		return workload.Result{}, err
 	}
-	m, err := gpusim.New(topology.NewNode(sys))
-	if err != nil {
-		return workload.Result{}, fmt.Errorf("runner: machine for %s: %w", sys, err)
+	m, merr := gpusim.New(topology.NewNode(sys))
+	if merr != nil {
+		return workload.Result{}, fmt.Errorf("runner: machine for %s: %w", sys, merr)
 	}
-	res, err := w.Run(ctx, m)
+	if r.col != nil {
+		m.Observe(r.col.Cell(obs.Key{Workload: w.Name(), System: sys.String(), Params: workload.ParamsOf(w)}))
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			res = workload.Result{}
+			err = &PanicError{Workload: w.Name(), System: sys.String(), Value: p, Stack: debug.Stack()}
+		}
+	}()
+	res, err = w.Run(ctx, m)
 	if err != nil {
 		return workload.Result{}, fmt.Errorf("runner: %s on %s: %w", w.Name(), sys, err)
 	}
@@ -165,8 +236,21 @@ func (r *Runner) Run(ctx context.Context, cells []Cell) []CellResult {
 			}
 		}()
 	}
+	// Feed indices with a ctx select: with saturated workers and a
+	// cancelled context a bare send could block the producer forever.
+	// Indices never sent are backfilled with the cancellation error —
+	// the workers only ever touch indices they received, so there is no
+	// overlap.
+send:
 	for i := range cells {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			for j := i; j < len(cells); j++ {
+				results[j] = CellResult{System: cells[j].System, Name: cells[j].Workload.Name(), Err: ctx.Err()}
+			}
+			break send
+		}
 	}
 	close(idx)
 	wg.Wait()

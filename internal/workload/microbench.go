@@ -92,7 +92,7 @@ func newMetricWorkload(m paper.Metric) *Spec {
 		fmt.Sprintf("metric=%s scopes=stack,pvc,node", m),
 		pvcSystems(),
 		func(ctx context.Context, mach *gpusim.Machine) (Result, error) {
-			suite := microbench.NewSuite(mach.Node)
+			suite := microbench.NewSuiteFrom(mach)
 			var res Result
 			for _, sc := range TableIIScopes {
 				v, err := suite.Run(m, sc)
@@ -118,7 +118,7 @@ func newP2PWorkload() *Spec {
 		fmt.Sprintf("msg=%v", microbench.TransferSize),
 		pvcSystems(),
 		func(ctx context.Context, mach *gpusim.Machine) (Result, error) {
-			suite := microbench.NewSuite(mach.Node)
+			suite := microbench.NewSuiteFrom(mach)
 			got, err := suite.P2P()
 			if err != nil {
 				return Result{}, err
@@ -159,7 +159,7 @@ func newLatsWorkload(lo, hi units.Bytes) *Spec {
 		fmt.Sprintf("lo=%d hi=%d", int64(lo), int64(hi)),
 		topology.AllSystems(),
 		func(ctx context.Context, mach *gpusim.Machine) (Result, error) {
-			suite := microbench.NewSuite(mach.Node)
+			suite := microbench.NewSuiteFrom(mach)
 			var res Result
 			for _, p := range suite.Lats(lo, hi) {
 				res.Values = append(res.Values, Value{
@@ -200,7 +200,7 @@ func newP2PSweepWorkload() *Spec {
 		"sizes=default paths=local,remote,extra",
 		pvcSystems(),
 		func(ctx context.Context, mach *gpusim.Machine) (Result, error) {
-			suite := microbench.NewSuite(mach.Node)
+			suite := microbench.NewSuiteFrom(mach)
 			sizes := microbench.DefaultSweepSizes()
 			var res Result
 			for _, k := range kinds {
@@ -243,7 +243,7 @@ func newFMASweepWorkload() *Spec {
 		"prec=fp64 works=1e6..1e12",
 		topology.AllSystems(),
 		func(ctx context.Context, mach *gpusim.Machine) (Result, error) {
-			suite := microbench.NewSuite(mach.Node)
+			suite := microbench.NewSuiteFrom(mach)
 			pts, err := suite.PeakFlopsSweep(microbench.FP64Chain, fmaSweepWorks)
 			if err != nil {
 				return Result{}, err

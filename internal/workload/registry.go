@@ -10,7 +10,8 @@ import (
 // point-to-point benchmark (E6), the Figure 1 latency ladder (E7), the
 // six Table V/VI workloads (E10–E15, which also feed Figures 2–4), and
 // the extension sweeps (X1 P2P curves, X18 kernel-size sweep, the
-// miniBUDE tuning surface, X21 energy to solution).
+// miniBUDE tuning surface, X21 energy to solution, and the X3
+// decomposed-CloverLeaf weak-scaling breakdown).
 func DefaultRegistry() *Registry {
 	r := NewRegistry()
 	for _, m := range paper.TableIIMetrics() {
@@ -25,5 +26,6 @@ func DefaultRegistry() *Registry {
 	r.MustRegister(newFMASweepWorkload())
 	r.MustRegister(newBUDESweepWorkload())
 	r.MustRegister(newEnergyWorkload())
+	r.MustRegister(newCloverScalingWorkload())
 	return r
 }

@@ -15,8 +15,8 @@ import (
 func TestDefaultRegistryContents(t *testing.T) {
 	reg := DefaultRegistry()
 	// 14 Table II metrics + p2p + lats + 6 FOM workloads + p2p-sweep +
-	// fma-sweep + minibude-sweep + energy.
-	if got, want := reg.Len(), 14+1+1+6+4; got != want {
+	// fma-sweep + minibude-sweep + energy + clover-scaling.
+	if got, want := reg.Len(), 14+1+1+6+5; got != want {
 		t.Fatalf("registry has %d workloads, want %d: %v", got, want, reg.Names())
 	}
 	for _, m := range paper.TableIIMetrics() {
