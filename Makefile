@@ -1,15 +1,23 @@
 # Development targets. `make check` is the gate CI and contributors run
-# before merging: vet, full build, and the race-enabled test suite (the
+# before merging: vet, full build, pvclint (the determinism/simulated-
+# time invariant analyzers), and the race-enabled test suite (the
 # parallel runner makes -race meaningful).
 
 GO ?= go
 
-.PHONY: check vet build test race bench artifacts trace-demo clean
+.PHONY: check vet build lint test race bench artifacts trace-demo clean
 
-check: vet build race
+check: vet build lint race
 
 vet:
 	$(GO) vet ./...
+
+# pvclint enforces the invariants in DESIGN.md ("Enforced invariants"):
+# no wall clock in simulation packages, no map-order output, no global
+# math/rand, no exact float equality in model code, nil-guarded
+# obs.Recorder calls. Exits nonzero on any finding.
+lint:
+	$(GO) run ./cmd/pvclint
 
 build:
 	$(GO) build ./...

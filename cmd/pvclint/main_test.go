@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pvcsim/internal/analysis"
+)
+
+// plantModule writes a throwaway module whose gpusim package (a
+// simulation path under the walltime contract) reads the wall clock.
+func plantModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module tmod\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg := filepath.Join(dir, "gpusim")
+	if err := os.MkdirAll(pkg, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := "package gpusim\n\nimport \"time\"\n\nvar T = time.Now()\n"
+	if err := os.WriteFile(filepath.Join(pkg, "bad.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestExitNonzeroOnViolation covers the acceptance criterion that
+// pvclint exits nonzero the moment a violation is introduced, and that
+// -json carries the structured finding.
+func TestExitNonzeroOnViolation(t *testing.T) {
+	dir := plantModule(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "-json"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	var findings []analysis.Diagnostic
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatalf("-json output is not a Diagnostic array: %v\n%s", err, stdout.String())
+	}
+	if len(findings) != 1 || findings[0].Analyzer != "walltime" {
+		t.Fatalf("findings = %+v, want one walltime finding", findings)
+	}
+}
+
+// TestDisableSkipsAnalyzer: with walltime off the planted module is
+// clean, and an unknown name is a usage error, not a silent no-op.
+func TestDisableSkipsAnalyzer(t *testing.T) {
+	dir := plantModule(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "-disable", "walltime"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0; stdout: %s stderr: %s", code, stdout.String(), stderr.String())
+	}
+	if code := run([]string{"-C", dir, "-disable", "walltimee"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown -disable name: exit = %d, want 2", code)
+	}
+}
+
+// TestListNamesEveryAnalyzer keeps -list in sync with the registry.
+func TestListNamesEveryAnalyzer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, a := range analysis.All() {
+		if !bytes.Contains(stdout.Bytes(), []byte(a.Name)) {
+			t.Errorf("-list output is missing analyzer %q:\n%s", a.Name, stdout.String())
+		}
+	}
+}

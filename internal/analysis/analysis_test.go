@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+const moduleRoot = "../.."
+
+// One loader (and thus one compiled view of the standard library) is
+// shared by every test in the package; tests run sequentially, and the
+// loader caches by import path, so fixtures and the real module
+// coexist.
+var (
+	loaderOnce sync.Once
+	loader     *Loader
+	loaderErr  error
+)
+
+func sharedLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() { loader, loaderErr = NewLoader(moduleRoot) })
+	if loaderErr != nil {
+		t.Fatal(loaderErr)
+	}
+	return loader
+}
+
+// want is one expectation parsed from a `// want `+"`re`"+` comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantSegRE = regexp.MustCompile("`([^`]+)`")
+
+// parseWants extracts the want comments of a loaded package.
+func parseWants(t *testing.T, pkg *Package) []want {
+	t.Helper()
+	var out []want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "// want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				segs := wantSegRE.FindAllStringSubmatch(c.Text, -1)
+				if len(segs) == 0 {
+					t.Fatalf("%s:%d: want comment without a backtick-quoted pattern", pos.Filename, pos.Line)
+				}
+				for _, m := range segs {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern: %v", pos.Filename, pos.Line, err)
+					}
+					out = append(out, want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkExpectations matches findings against wants one-to-one.
+func checkExpectations(t *testing.T, label string, diags []Diagnostic, wants []want) {
+	t.Helper()
+	used := make([]bool, len(wants))
+	for _, d := range diags {
+		text := d.Analyzer + ": " + d.Message
+		matched := false
+		for i, w := range wants {
+			if !used[i] && w.file == d.File && w.line == d.Line && w.re.MatchString(text) {
+				used[i] = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected finding: %s", label, d)
+		}
+	}
+	for i, w := range wants {
+		if !used[i] {
+			t.Errorf("%s: %s:%d: expected a finding matching %q, got none", label, w.file, w.line, w.re)
+		}
+	}
+}
+
+// TestAnalyzersOnFixtures is the golden harness: each testdata package
+// is loaded under a chosen import path (so path-sensitive analyzers see
+// the classification the fixture is about) and every analyzer runs over
+// it; findings must match the `// want` comments exactly.
+func TestAnalyzersOnFixtures(t *testing.T) {
+	l := sharedLoader(t)
+	cases := []struct {
+		dir     string
+		asPath  string
+		noWants bool // load ignoring want comments and expect zero findings
+	}{
+		{dir: "walltime", asPath: "pvcsim/internal/gpusim/fixture"},
+		// The same sources under allowlisted paths are clean: the
+		// runner and the CLIs may read the wall clock.
+		{dir: "walltime", asPath: "pvcsim/internal/runner/fixture", noWants: true},
+		{dir: "walltime", asPath: "pvcsim/cmd/fixture", noWants: true},
+		{dir: "maprange", asPath: "pvcsim/internal/report/fixture"},
+		{dir: "seededrand", asPath: "pvcsim/internal/topology/fixture"},
+		{dir: "floateq", asPath: "pvcsim/internal/perfmodel/fixture"},
+		// floateq is scoped to model code: the identical sources under
+		// a non-simulation path are clean.
+		{dir: "floateq", asPath: "pvcsim/internal/report/floatfixture", noWants: true},
+		{dir: "recorderguard", asPath: "pvcsim/internal/mem/fixture"},
+		{dir: "directive", asPath: "pvcsim/internal/power/fixture"},
+	}
+	for _, tc := range cases {
+		label := tc.dir + " as " + tc.asPath
+		pkg, err := l.LoadDir(filepath.Join("testdata", "src", tc.dir), tc.asPath)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		diags := RunPackage(pkg, All())
+		var wants []want
+		if !tc.noWants {
+			wants = parseWants(t, pkg)
+			if len(wants) == 0 && tc.dir != "directive" {
+				t.Fatalf("%s: fixture has no want comments", label)
+			}
+		}
+		checkExpectations(t, label, diags, wants)
+	}
+}
+
+// TestMalformedDirectives checks that a broken //pvclint:ignore cannot
+// silently disable a check: it is reported itself AND the violation it
+// meant to cover still surfaces. Expectations are positional (sorted by
+// line) because a want comment cannot share a line with the directive
+// under test.
+func TestMalformedDirectives(t *testing.T) {
+	l := sharedLoader(t)
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", "directivebad"), "pvcsim/internal/fabric/fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunPackage(pkg, All())
+	expected := []string{
+		`directive: .*unknown analyzer "nosuchanalyzer"`,
+		`walltime: time\.Now reads the wall clock`,
+		`directive: .*missing a reason`,
+		`walltime: time\.Now reads the wall clock`,
+	}
+	if len(diags) != len(expected) {
+		t.Fatalf("got %d findings, want %d:\n%s", len(diags), len(expected), renderAll(diags))
+	}
+	for i, pat := range expected {
+		text := diags[i].Analyzer + ": " + diags[i].Message
+		if !regexp.MustCompile(pat).MatchString(text) {
+			t.Errorf("finding %d = %q, want match for %q", i, text, pat)
+		}
+	}
+}
+
+// TestModuleIsClean asserts the real tree has zero findings: the
+// invariants in DESIGN.md hold everywhere, with every deliberate
+// exception annotated. This is the same load path `pvclint` and
+// `make lint` use, so a regression fails both this test and the build.
+func TestModuleIsClean(t *testing.T) {
+	diags, err := runLoaded(sharedLoader(t), All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) > 0 {
+		t.Errorf("pvclint findings on a tree that must be clean:\n%s", renderAll(diags))
+	}
+}
+
+// TestPlantedWalltimeInPerfmodel verifies the acceptance scenario for
+// `make check`: a time.Now planted in internal/perfmodel must be
+// caught. The plant is injected as a synthetic file at load time so the
+// working tree is never touched.
+func TestPlantedWalltimeInPerfmodel(t *testing.T) {
+	l, err := NewLoader(moduleRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const plant = `package perfmodel
+
+import "time"
+
+func plantedWallClock() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+`
+	l.Extra["pvcsim/internal/perfmodel"] = []ExtraFile{{Name: "zz_planted.go", Src: plant}}
+	pkg, err := l.LoadDir(filepath.Join(l.Root, "internal", "perfmodel"), "pvcsim/internal/perfmodel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunPackage(pkg, []*Analyzer{Walltime})
+	var hits []Diagnostic
+	for _, d := range diags {
+		if strings.HasSuffix(d.File, "zz_planted.go") {
+			hits = append(hits, d)
+		}
+	}
+	if len(hits) != 2 {
+		t.Fatalf("planted time.Now/time.Since: got %d walltime findings, want 2:\n%s", len(hits), renderAll(diags))
+	}
+	if len(diags) != len(hits) {
+		t.Errorf("unplanted perfmodel code has findings:\n%s", renderAll(diags))
+	}
+}
+
+func renderAll(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	return b.String()
+}

@@ -1,0 +1,220 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one fully type-checked package as pvclint sees it.
+type Package struct {
+	Path  string // import path the package was loaded under
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// ExtraFile is a synthetic source file injected into a package at load
+// time. The test harness uses it to "plant" violations (e.g. a
+// time.Now in internal/perfmodel) without touching the tree.
+type ExtraFile struct {
+	Name string // file name to report positions under
+	Src  string
+}
+
+// Loader type-checks the module's packages with nothing but the
+// standard library: module-internal import paths are resolved straight
+// from the module directory tree, everything else is delegated to the
+// "source" compiler importer (which compiles the standard library from
+// GOROOT source, so no pre-built export data is needed).
+type Loader struct {
+	Fset   *token.FileSet
+	Root   string // module root: the directory holding go.mod
+	Module string // module path declared in go.mod
+
+	// Extra maps an import path to synthetic files appended to that
+	// package's real sources when it is loaded.
+	Extra map[string][]ExtraFile
+
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader returns a Loader for the module rooted at root, reading the
+// module path from root/go.mod.
+func NewLoader(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s is not a module root: %w", abs, err)
+	}
+	mod := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			mod = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if mod == "" {
+		return nil, fmt.Errorf("analysis: no module line in %s/go.mod", abs)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		Root:    abs,
+		Module:  mod,
+		Extra:   map[string][]ExtraFile{},
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}, nil
+}
+
+// Import implements types.Importer so packages under analysis can
+// depend on each other and on the standard library.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p.Types, nil
+	}
+	if path == l.Module || strings.HasPrefix(path, l.Module+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.Module), "/")
+		pkg, err := l.LoadDir(filepath.Join(l.Root, filepath.FromSlash(rel)), path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// LoadDir parses and type-checks the single package in dir, registering
+// it under the import path asPath. Test files are skipped: pvclint
+// checks shipped code, and _test.go files legitimately measure wall
+// time and compare exact floats. Subsequent loads of the same path
+// return the cached package.
+func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
+	if p, ok := l.pkgs[asPath]; ok {
+		return p, nil
+	}
+	if l.loading[asPath] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", asPath)
+	}
+	l.loading[asPath] = true
+	defer delete(l.loading, asPath)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	for _, x := range l.Extra[asPath] {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, x.Name), x.Src, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(asPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", asPath, err)
+	}
+	pkg := &Package{Path: asPath, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[asPath] = pkg
+	return pkg, nil
+}
+
+// LoadAll loads every package of the module: each directory under Root
+// containing non-test Go files, skipping testdata trees, hidden
+// directories, and nested modules. Results are sorted by import path.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.Root {
+			if name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				return filepath.SkipDir
+			}
+			if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil {
+				return filepath.SkipDir // nested module
+			}
+		}
+		hasGo := false
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			n := e.Name()
+			if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+				hasGo = true
+				break
+			}
+		}
+		if hasGo {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.Root, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := l.Module
+		if rel != "." {
+			path = l.Module + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.LoadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,41 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// seededRandAllowed are the math/rand package-level functions that
+// construct generators rather than draw from the shared global one.
+var seededRandAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 constructors.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// SeededRand forbids the global math/rand functions (rand.Float64,
+// rand.Intn, rand.Shuffle, ...) everywhere in the module. The global
+// generator is seeded per process and shared across goroutines, so any
+// draw from it is a run-order dependency; every consumer of randomness
+// must instead receive a seeded *rand.Rand so each cell's stream is its
+// own and results are reproducible under any -jobs value.
+var SeededRand = &Analyzer{
+	Name: "seededrand",
+	Doc:  "forbid global math/rand draws in favor of an injected seeded *rand.Rand",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				pkg, name := pkgFunc(p.Info, sel)
+				if (pkg == "math/rand" || pkg == "math/rand/v2") && !seededRandAllowed[name] {
+					p.ReportFixf(sel.Pos(),
+						"thread a seeded generator through: rng := rand.New(rand.NewSource(seed)); rng."+name+"(...)",
+						"rand.%s draws from the process-global generator; determinism requires a seeded *rand.Rand", name)
+				}
+				return true
+			})
+		}
+	},
+}

@@ -1,0 +1,20 @@
+// Fixture for the ignore directive: every violation here carries a
+// well-formed //pvclint:ignore, so the harness expects zero findings
+// even though the directory is loaded under a simulation import path.
+package fixture
+
+import "time"
+
+func suppressedSameLine() time.Time {
+	return time.Now() //pvclint:ignore walltime exercising same-line suppression
+}
+
+func suppressedFromAbove() time.Time {
+	//pvclint:ignore walltime exercising suppression from the line above
+	return time.Now()
+}
+
+func suppressedMulti(a, b float64) bool {
+	//pvclint:ignore walltime,floateq exercising multi-analyzer suppression on one line
+	return a == b && time.Since(time.Unix(0, 0)) > 0
+}

@@ -1,0 +1,14 @@
+// Fixture for malformed ignore directives: a typo or a missing reason
+// must surface as a "directive" finding AND leave the underlying
+// violation unsuppressed, so a broken annotation can never silently
+// disable a check. Expectations live in the harness table because a
+// want comment cannot share a line with the directive under test.
+package fixture
+
+import "time"
+
+//pvclint:ignore nosuchanalyzer the analyzer name is misspelled
+var t1 = time.Now()
+
+//pvclint:ignore walltime
+var t2 = time.Now()

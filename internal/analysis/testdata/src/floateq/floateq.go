@@ -1,0 +1,36 @@
+// Fixture for the floateq analyzer: model code compares floats with a
+// tolerance, except the two sanctioned exact idioms (zero sentinel,
+// NaN self-test).
+package fixture
+
+func bad(a, b float64) bool {
+	return a == b // want `exact == on floating-point operands`
+}
+
+func badNeq(a, b float32) bool {
+	if a != b { // want `exact != on floating-point operands`
+		return true
+	}
+	return false
+}
+
+type seconds float64
+
+// Defined types with a float core are still floats.
+func badDefined(a, b seconds) bool {
+	return a != b // want `exact != on floating-point operands`
+}
+
+func badConst(a float64) bool {
+	return a == 1.5 // want `exact == on floating-point operands`
+}
+
+func okZeroSentinel(a float64) bool { return a == 0 }
+
+func okZeroNeq(a float64) bool { return 0 != a }
+
+func okNaNTest(a float64) bool { return a != a }
+
+func okInts(a, b int) bool { return a == b }
+
+func okOrdered(a, b float64) bool { return a < b }

@@ -1,0 +1,70 @@
+// Fixture for the maprange analyzer: map iteration order must never
+// reach a slice that outlives the loop unsorted, nor any output stream.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to "keys" inside a range over a map`
+	}
+	return keys
+}
+
+// The canonical collect-then-sort idiom is exactly what the analyzer
+// must NOT flag: the trailing sort repairs the order.
+func goodAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func goodSortSlice(m map[string]float64) []float64 {
+	var vs []float64
+	for _, v := range m {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return vs
+}
+
+func badWrite(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `Fprintf inside a range over a map`
+	}
+}
+
+func badHelper(m map[string]int) {
+	for k := range m {
+		writeRow(k) // want `call to writeRow inside a range over a map`
+	}
+}
+
+func writeRow(_ string) {}
+
+// A slice born and consumed inside the body cannot leak iteration
+// order across iterations.
+func goodLocal(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}
+
+// Ranging over a slice is always ordered; nothing to report.
+func goodSliceRange(xs []string, w io.Writer) {
+	for _, x := range xs {
+		fmt.Fprintln(w, x)
+	}
+}

@@ -1,0 +1,28 @@
+// Fixture for the seededrand analyzer: all randomness must flow
+// through an injected seeded *rand.Rand, never the process-global
+// generator.
+package fixture
+
+import "math/rand"
+
+func bad() float64 {
+	return rand.Float64() // want `rand\.Float64 draws from the process-global generator`
+}
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand\.Shuffle draws from the process-global generator`
+}
+
+func badPerm(n int) []int {
+	return rand.Perm(n) // want `rand\.Perm draws from the process-global generator`
+}
+
+// Constructing a private generator from a seed is the sanctioned path.
+func good(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+func goodInjected(rng *rand.Rand, n int) int {
+	return rng.Intn(n)
+}

@@ -1,0 +1,27 @@
+// Fixture for the walltime analyzer. The harness loads this directory
+// twice: once under a simulation import path (findings expected, per
+// the want comments) and once under an allowlisted runner path (no
+// findings expected).
+package fixture
+
+import "time"
+
+func bad() time.Duration {
+	start := time.Now()          // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+	return time.Since(start)     // want `time\.Since reads the wall clock`
+}
+
+func badWait(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-time.After(time.Second): // want `time\.After reads the wall clock`
+		return 0
+	}
+}
+
+// Pure duration arithmetic never touches the host clock and is fine.
+func ok() time.Duration {
+	return 5 * time.Millisecond
+}

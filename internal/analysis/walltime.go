@@ -1,0 +1,45 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// wallClockFuncs are the package time functions that read or depend on
+// the host's real clock. Pure-value helpers (time.Duration arithmetic,
+// time.Unix construction) are fine; sampling or waiting on the wall
+// clock is not.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+// Walltime forbids wall-clock time in simulation packages: a simulated
+// machine advances its own units.Seconds clock, and any time.Now that
+// leaks into model code makes artifacts depend on host speed, breaking
+// bit-for-bit determinism. The runner and the CLIs are allowed to time
+// themselves for human-facing summaries.
+var Walltime = &Analyzer{
+	Name: "walltime",
+	Doc:  "forbid time.Now/time.Since/time.Sleep and friends in simulation packages",
+	Run: func(p *Pass) {
+		if !isSimulationPackage(p.Path) {
+			return
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				pkg, name := pkgFunc(p.Info, sel)
+				if pkg == "time" && wallClockFuncs[name] {
+					p.ReportFixf(sel.Pos(),
+						"advance the machine's simulated clock (units.Seconds) instead; wall time belongs to internal/runner and cmd/",
+						"time.%s reads the wall clock inside simulation package %s", name, relPath(p.Path))
+				}
+				return true
+			})
+		}
+	},
+}

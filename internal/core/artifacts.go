@@ -126,16 +126,19 @@ func (s *Study) WriteAllArtifacts(dir string) (err error) {
 	if err := writeChart("figure2", f2); err != nil {
 		return err
 	}
-	for fi, build := range map[string]func(topology.System) (*report.BarChart, error){
-		"figure3": s.Figure3,
-		"figure4": s.Figure4,
+	for _, fig := range []struct {
+		name  string
+		build func(topology.System) (*report.BarChart, error)
+	}{
+		{"figure3", s.Figure3},
+		{"figure4", s.Figure4},
 	} {
 		for _, sys := range []topology.System{topology.Aurora, topology.Dawn} {
-			chart, err := build(sys)
+			chart, err := fig.build(sys)
 			if err != nil {
 				return err
 			}
-			if err := writeChart(fmt.Sprintf("%s_%s", fi, sysSlug(sys)), chart); err != nil {
+			if err := writeChart(fmt.Sprintf("%s_%s", fig.name, sysSlug(sys)), chart); err != nil {
 				return err
 			}
 		}

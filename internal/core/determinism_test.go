@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -33,36 +34,68 @@ func readArtifacts(t *testing.T, dir string) map[string][]byte {
 	return out
 }
 
-// TestArtifactsDeterministicAcrossJobs is the determinism regression
-// test: the complete rendered artifact (every table, CSV, figure, and
-// the fidelity report) must be byte-identical between a serial study and
-// one fanning cells across every CPU.
+// firstDiff returns the offset of the first differing byte, with a
+// short hex/ASCII excerpt of both sides, so a maprange-class slip shows
+// *where* the artifacts diverged, not just that they did.
+func firstDiff(a, b []byte) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			lo := i - 12
+			if lo < 0 {
+				lo = 0
+			}
+			return fmt.Sprintf("first difference at byte %d: %q vs %q", i, a[lo:i+1], b[lo:i+1])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d bytes", len(a), len(b))
+}
+
+// TestArtifactsDeterministicAcrossJobs is the dynamic complement to
+// pvclint's maprange analyzer: the complete rendered artifact (every
+// table, CSV, figure, and the fidelity report) is generated several
+// times in this one process under different -jobs values — including
+// explicit 2 and 4, so worker interleaving is exercised even on a
+// single-CPU host where NumCPU would degenerate to a serial rerun — and
+// every file must be byte-for-byte identical to the serial reference.
 func TestArtifactsDeterministicAcrossJobs(t *testing.T) {
-	serialDir, parallelDir := t.TempDir(), t.TempDir()
-	if err := NewStudy().WriteAllArtifacts(serialDir); err != nil {
-		t.Fatal(err)
+	render := func(study *Study) map[string][]byte {
+		t.Helper()
+		dir := t.TempDir()
+		if err := study.WriteAllArtifacts(dir); err != nil {
+			t.Fatal(err)
+		}
+		return readArtifacts(t, dir)
 	}
-	if err := NewParallelStudy(runtime.NumCPU()).WriteAllArtifacts(parallelDir); err != nil {
-		t.Fatal(err)
-	}
-	serial := readArtifacts(t, serialDir)
-	parallel := readArtifacts(t, parallelDir)
-	if len(serial) != len(parallel) {
-		t.Fatalf("artifact counts differ: %d vs %d", len(serial), len(parallel))
-	}
+	reference := render(NewStudy())
 	var names []string
-	for name := range serial {
+	for name := range reference {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	for _, name := range names {
-		pb, ok := parallel[name]
-		if !ok {
-			t.Errorf("parallel run missing %s", name)
-			continue
+
+	jobsValues := []int{2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		jobsValues = append(jobsValues, n)
+	}
+	for _, jobs := range jobsValues {
+		parallel := render(NewParallelStudy(jobs))
+		if len(reference) != len(parallel) {
+			t.Fatalf("-jobs=%d: artifact counts differ: %d vs %d", jobs, len(reference), len(parallel))
 		}
-		if string(serial[name]) != string(pb) {
-			t.Errorf("%s differs between -jobs=1 and -jobs=%d", name, runtime.NumCPU())
+		for _, name := range names {
+			pb, ok := parallel[name]
+			if !ok {
+				t.Errorf("-jobs=%d run is missing %s", jobs, name)
+				continue
+			}
+			if !bytes.Equal(reference[name], pb) {
+				t.Errorf("%s differs between -jobs=1 and -jobs=%d: %s",
+					name, jobs, firstDiff(reference[name], pb))
+			}
 		}
 	}
 }

@@ -61,6 +61,7 @@ func FMAChain64Parallel(xs []float64, a, b float64, depth int, workers int) int6
 // is not required — but within floating-point tolerance the chain must
 // match the closed form.
 func FMAClosedForm(x0, a, b float64, depth int) float64 {
+	//pvclint:ignore floateq a == 1 is the exact singular case of the geometric sum (divides by a-1); IEEE comparison against the literal is intended
 	if a == 1 {
 		return x0 + float64(depth)*b
 	}

@@ -73,8 +73,10 @@ func (s *StreamSuite) Run() ([]StreamResult, error) {
 	for _, k := range kernels {
 		best := -1.0
 		for r := 0; r < s.Repeats; r++ {
+			//pvclint:ignore walltime StreamSuite measures the real host (hostcheck microbenchmark); the wall clock IS the instrument here, and its results never enter simulated artifacts
 			t0 := time.Now()
 			k.fn()
+			//pvclint:ignore walltime see t0 above: paired host-clock read of the same measurement
 			dt := time.Since(t0).Seconds()
 			if best < 0 || dt < best {
 				best = dt
@@ -105,6 +107,7 @@ func (s *StreamSuite) validate(scalar float64) error {
 		name      string
 		got, want float64
 	}{{"a", s.a[0], a}, {"b", s.b[0], b}, {"c", s.c[0], c}} {
+		//pvclint:ignore floateq stream.c's validation is bit-exact by construction: the scalar replay performs the identical IEEE operation sequence as the kernels
 		if v.got != v.want {
 			return fmt.Errorf("kernels: stream validation failed on %s[%d]: %v != %v", v.name, i, v.got, v.want)
 		}
