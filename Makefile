@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet build lint test race bench artifacts trace-demo clean
+.PHONY: check vet build lint test race bench artifacts trace-demo profile-demo bench-record bench-check clean
 
 check: vet build lint race
 
@@ -42,5 +42,25 @@ trace-demo: build
 	$(GO) run ./cmd/pvcbench -workload clover-scaling -system aurora -trace trace-demo.json
 	@echo "wrote trace-demo.json — load it at https://ui.perfetto.dev"
 
+# Produce a bound-attribution profile of the same cell and render its
+# residency table plus a flamegraph.pl-ready folded-stack file.
+profile-demo: build
+	$(GO) run ./cmd/pvcbench -workload clover-scaling -system aurora -profile profile-demo.json
+	$(GO) run ./cmd/pvcprof report profile-demo.json
+	$(GO) run ./cmd/pvcprof flame profile-demo.json > profile-demo.folded
+	@echo "wrote profile-demo.json and profile-demo.folded (feed to flamegraph.pl)"
+
+# Append today's bench record (the six Table V/VI FOM workloads) to
+# BENCH_<date>.json — the simulator's own performance trajectory.
+bench-record: build
+	$(GO) run ./cmd/pvcprof bench -jobs 0
+
+# Regression gate: run the bench set now and diff it against the
+# committed baseline. Simulated FOM drift hard-fails (exact tolerance);
+# wall-clock drift only warns.
+bench-check: build
+	$(GO) run ./cmd/pvcprof bench -jobs 0 -out bench-current.json
+	$(GO) run ./cmd/pvcprof diff BENCH_baseline.json bench-current.json
+
 clean:
-	rm -rf artifacts trace-demo.json
+	rm -rf artifacts trace-demo.json profile-demo.json profile-demo.folded bench-current.json

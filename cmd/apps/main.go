@@ -4,7 +4,9 @@
 // Table VI and reporting the mechanism analyses (OpenMC's effective
 // cross-section access latency per architecture and HACC's GPU/CPU time
 // breakdown). It also runs small real instances of both physics codes as
-// self-checks.
+// self-checks. The shared observability flags (-trace, -metrics,
+// -profile) record the computed cells' simulated timelines, counters,
+// and bound-attribution profile (see pvcprof).
 package main
 
 import (

@@ -5,6 +5,10 @@
 // Usage:
 //
 //	lats [-csv] [-lo bytes] [-hi bytes] [-simulate footprint] [-jobs N]
+//
+// The shared observability flags (-trace, -metrics, -profile) record
+// the computed cells' simulated timelines, counters, and
+// bound-attribution profile (see pvcprof).
 package main
 
 import (

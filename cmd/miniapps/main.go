@@ -8,6 +8,10 @@
 //	miniapps [-table 5|6] [-figure 2|3|4] [-csv] [-jobs N]
 //	miniapps -list
 //	miniapps -workload NAME
+//	miniapps [-trace out.json] [-metrics out.json] [-profile out.json] ...
+//
+// The shared observability flags record the computed cells' simulated
+// timelines, counters, and bound-attribution profile (see pvcprof).
 package main
 
 import (

@@ -2,9 +2,16 @@
 // Section III — CPUs, memory, GPUs, interconnects, power caps, Xe-Link
 // plane tables and rank bindings — for inspection and for comparing
 // against the paper's system descriptions.
+//
+// With the shared observability flags (-trace, -metrics, -profile) it
+// additionally drives one richly-simulating fabric probe (the
+// CloverLeaf scaling workload, which exercises kernels, MDFI, and the
+// Xe-Link planes) per described system, so the described topology can
+// be inspected in motion, not just on paper.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -13,8 +20,10 @@ import (
 
 	"pvcsim/internal/hw"
 	"pvcsim/internal/power"
+	"pvcsim/internal/runner"
 	"pvcsim/internal/topology"
 	"pvcsim/internal/units"
+	"pvcsim/internal/workload"
 )
 
 func main() {
@@ -23,6 +32,9 @@ func main() {
 	system := flag.String("system", "", "one system (aurora|dawn|h100|mi250|frontier); default all")
 	bindings := flag.Bool("bindings", false, "print the full rank-to-core binding table")
 	config := flag.String("config", "", "describe a custom node from a JSON config file instead")
+	jobs := flag.Int("jobs", 1, "parallel probe workers when observability output is requested; 0 = all CPUs")
+	var obsf runner.ObsFlags
+	obsf.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *config != "" {
@@ -41,20 +53,11 @@ func main() {
 
 	systems := topology.AllSystems()
 	if *system != "" {
-		switch *system {
-		case "aurora":
-			systems = []topology.System{topology.Aurora}
-		case "dawn":
-			systems = []topology.System{topology.Dawn}
-		case "h100":
-			systems = []topology.System{topology.JLSEH100}
-		case "mi250":
-			systems = []topology.System{topology.JLSEMI250}
-		case "frontier":
-			systems = []topology.System{topology.Frontier}
-		default:
-			log.Fatalf("unknown system %q", *system)
+		sys, err := topology.ParseSystem(*system)
+		if err != nil {
+			log.Fatal(err)
 		}
+		systems = []topology.System{sys}
 	}
 
 	for _, sys := range systems {
@@ -62,6 +65,35 @@ func main() {
 		describe(node, *bindings)
 		fmt.Println()
 	}
+
+	if obsf.Enabled() {
+		if err := probe(&obsf, *jobs, systems); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// probe runs the CloverLeaf scaling workload on each system through an
+// observed runner, then writes the requested trace/metrics/profile
+// files plus the per-cell summary.
+func probe(obsf *runner.ObsFlags, jobs int, systems []topology.System) error {
+	reg := workload.DefaultRegistry()
+	w, ok := reg.Get("clover-scaling")
+	if !ok {
+		return fmt.Errorf("fabric probe workload clover-scaling not registered")
+	}
+	r := runner.New(jobs)
+	obsf.Attach(r)
+	var cells []runner.Cell
+	for _, sys := range systems {
+		cells = append(cells, runner.Cell{System: sys, Workload: w})
+	}
+	for _, res := range r.Run(context.Background(), cells) {
+		if res.Err != nil {
+			return fmt.Errorf("fabric probe on %s: %w", res.System, res.Err)
+		}
+	}
+	return obsf.Finish(os.Stderr)
 }
 
 func describe(node *topology.NodeSpec, withBindings bool) {

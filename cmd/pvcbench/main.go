@@ -8,16 +8,17 @@
 //	pvcbench [-table N] [-system name] [-csv] [-experiments] [-jobs N]
 //	pvcbench -list
 //	pvcbench -workload NAME [-system name] [-jobs N] [-csv]
-//	pvcbench [-trace out.json] [-metrics out.json] ...
+//	pvcbench [-trace out.json] [-metrics out.json] [-profile out.json] ...
 //
 // With no flags it prints Tables I–IV for both PVC systems. Every
 // experiment of the study is registered in the workload registry;
 // -list enumerates them and -workload runs one by name. -jobs fans
 // independent (system × workload) cells across a worker pool with
 // bit-identical output. -trace records every computed cell's simulated
-// timeline as Chrome trace-event JSON and -metrics dumps the per-cell
-// counters; both use simulated timestamps only and are byte-identical
-// across -jobs settings.
+// timeline as Chrome trace-event JSON, -metrics dumps the per-cell
+// counters, and -profile writes the bound-attribution profile (inspect
+// with pvcprof report/flame); all three use simulated quantities only
+// and are byte-identical across -jobs settings.
 package main
 
 import (

@@ -8,7 +8,7 @@
 //	maprange      no map iteration order reaching slices or output unsorted
 //	seededrand    no global math/rand draws; inject a seeded *rand.Rand
 //	floateq       no exact ==/!= on floats in model code
-//	recorderguard every obs.Recorder call dominated by a nil check
+//	recorderguard every obs/prof Recorder call dominated by a nil check
 //
 // Exit status is 0 when the tree is clean, 1 when any analyzer reports
 // a finding, 2 on usage or load errors. Deliberate exceptions are

@@ -115,6 +115,7 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		// a non-simulation path are clean.
 		{dir: "floateq", asPath: "pvcsim/internal/report/floatfixture", noWants: true},
 		{dir: "recorderguard", asPath: "pvcsim/internal/mem/fixture"},
+		{dir: "profguard", asPath: "pvcsim/internal/perfmodel/proffixture"},
 		{dir: "directive", asPath: "pvcsim/internal/power/fixture"},
 	}
 	for _, tc := range cases {

@@ -1,0 +1,44 @@
+// Fixture for recorderguard's prof coverage: the profiling Recorder is
+// nil by default on the model hot path exactly like the obs one, so
+// unguarded prof.Recorder calls are findings too.
+package fixture
+
+import "pvcsim/internal/prof"
+
+type model struct {
+	prof prof.Recorder
+}
+
+func (m *model) bad(t float64) {
+	m.prof.Sample(prof.BoundHBM, t) // want `m\.prof\.Sample is called without a dominating nil check`
+}
+
+func (m *model) goodEnclosing(t float64) {
+	if m.prof != nil {
+		m.prof.Sample(prof.BoundHBM, t)
+	}
+}
+
+func (m *model) goodEarlyReturn(t float64) {
+	if m.prof == nil {
+		return
+	}
+	m.prof.Sample(prof.BoundPCIe, t)
+}
+
+func badParam(r prof.Recorder, t float64) {
+	r.Sample(prof.BoundLaunch, t) // want `r\.Sample is called without a dominating nil check`
+}
+
+// The nil-tolerant helper is the sanctioned unguarded path.
+func goodHelper(r prof.Recorder, t float64) {
+	prof.Sample(r, prof.BoundPower, t)
+}
+
+// A concrete *Tally is not the Recorder interface: calls on it are not
+// hot-path calls and need no guard.
+func goodConcrete(t float64) float64 {
+	tally := prof.NewTally()
+	tally.Sample(prof.BoundHBM, t)
+	return tally.Total()
+}

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -12,6 +14,7 @@ import (
 	"testing"
 
 	"pvcsim/internal/obs"
+	"pvcsim/internal/prof"
 	"pvcsim/internal/runner"
 	"pvcsim/internal/workload"
 )
@@ -123,11 +126,12 @@ func TestRegistryDeterministicAcrossRuns(t *testing.T) {
 }
 
 // TestTraceDeterministicAcrossJobs is the observability determinism
-// test: the -trace and -metrics exports, which carry only simulated
-// quantities, must be byte-identical between -jobs=1 and -jobs=NumCPU
-// runs of the full registry.
+// test: the -trace, -metrics, and -profile exports (plus the rendered
+// flamegraph), which carry only simulated quantities, must be
+// byte-identical across -jobs=1, 2, and 4 runs of the full registry in
+// this one process.
 func TestTraceDeterministicAcrossJobs(t *testing.T) {
-	render := func(jobs int) (trace, metrics string) {
+	render := func(jobs int) map[string]string {
 		col := obs.NewCollector()
 		r := runner.New(jobs)
 		r.Observe(col)
@@ -137,21 +141,73 @@ func TestTraceDeterministicAcrossJobs(t *testing.T) {
 			}
 		}
 		rep := col.Report()
-		var tb, mb bytes.Buffer
-		if err := rep.WriteChromeTrace(&tb); err != nil {
-			t.Fatal(err)
+		profile := prof.Build(rep)
+		out := map[string]string{}
+		for name, write := range map[string]func(io.Writer) error{
+			"trace":   rep.WriteChromeTrace,
+			"metrics": rep.WriteMetrics,
+			"profile": profile.WriteJSON,
+			"flame":   profile.WriteFlame,
+		} {
+			var b bytes.Buffer
+			if err := write(&b); err != nil {
+				t.Fatalf("jobs=%d rendering %s: %v", jobs, name, err)
+			}
+			out[name] = b.String()
 		}
-		if err := rep.WriteMetrics(&mb); err != nil {
-			t.Fatal(err)
+		return out
+	}
+	reference := render(1)
+	names := make([]string, 0, len(reference))
+	for name := range reference {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, jobs := range []int{2, 4} {
+		got := render(jobs)
+		for _, name := range names {
+			if reference[name] != got[name] {
+				t.Errorf("-%s output differs between -jobs=1 and -jobs=%d: %s",
+					name, jobs, firstDiff([]byte(reference[name]), []byte(got[name])))
+			}
 		}
-		return tb.String(), mb.String()
 	}
-	serialTrace, serialMetrics := render(1)
-	parallelTrace, parallelMetrics := render(runtime.NumCPU())
-	if serialTrace != parallelTrace {
-		t.Errorf("-trace output differs between -jobs=1 and -jobs=%d", runtime.NumCPU())
+}
+
+// TestProfileResidencyOverRegistry is the profiler's acceptance check:
+// over the full workload registry, every profiled cell's bound tags are
+// well-formed and its residency fractions sum to exactly 1 (within
+// float tolerance) — the attribution partitions the cell's simulated
+// time, it never double-bills or drops any.
+func TestProfileResidencyOverRegistry(t *testing.T) {
+	col := obs.NewCollector()
+	r := runner.New(runtime.NumCPU())
+	r.Observe(col)
+	for _, res := range r.RunAll(context.Background(), workload.DefaultRegistry()) {
+		if res.Err != nil {
+			t.Fatalf("%s/%s: %v", res.Name, res.System, res.Err)
+		}
 	}
-	if serialMetrics != parallelMetrics {
-		t.Errorf("-metrics output differs between -jobs=1 and -jobs=%d", runtime.NumCPU())
+	profile := prof.Build(col.Report())
+	if len(profile.Cells) == 0 {
+		t.Fatal("no cell in the registry produced an attributed profile")
+	}
+	for _, c := range profile.Cells {
+		sum := 0.0
+		for _, sh := range c.Residency {
+			if !prof.KnownBound(sh.Bound) {
+				t.Errorf("%s: unknown bound tag %q", c.Name(), sh.Bound)
+			}
+			if sh.Seconds < 0 || sh.Fraction < 0 {
+				t.Errorf("%s: negative share %+v", c.Name(), sh)
+			}
+			sum += sh.Fraction
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s: residency fractions sum to %.12f, want 1", c.Name(), sum)
+		}
+		if c.AttributedS <= 0 {
+			t.Errorf("%s: attributed_s = %v, want > 0", c.Name(), c.AttributedS)
+		}
 	}
 }

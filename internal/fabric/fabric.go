@@ -38,6 +38,7 @@ func (c *Constraint) ActiveFlows() int { return len(c.flows) }
 // Flow is one in-flight transfer.
 type Flow struct {
 	name      string
+	bound     string // binding-resource tag carried onto the recorded span
 	remaining float64
 	rate      float64
 	cs        []*Constraint
@@ -47,6 +48,10 @@ type Flow struct {
 	size      float64       // total bytes, for the recorded span
 	start     units.Seconds // when the flow entered the network
 }
+
+// Bound returns the flow's binding-resource tag ("" when the flow is
+// covered by an enclosing recorded span).
+func (f *Flow) Bound() string { return f.bound }
 
 // Finished reports whether the flow has completed.
 func (f *Flow) Finished() bool { return f.finished }
@@ -120,7 +125,7 @@ func (n *Network) Transfer(p *sim.Proc, name string, size units.Bytes, latency u
 	if size <= 0 {
 		return
 	}
-	f := n.start(name, size, cs)
+	f := n.start(name, "", size, cs)
 	if f.finished {
 		return
 	}
@@ -131,12 +136,20 @@ func (n *Network) Transfer(p *sim.Proc, name string, size units.Bytes, latency u
 // returns its Flow; callers wait on it with Flow.Wait. It is the primitive
 // under MPI_Isend-style overlapped communication in the mpirt package.
 func (n *Network) Start(name string, size units.Bytes, latency units.Seconds, cs ...*Constraint) *Flow {
+	return n.StartBound(name, "", size, latency, cs...)
+}
+
+// StartBound is Start with a binding-resource tag: the flow's recorded
+// span carries bound, attributing the transfer when no enclosing span
+// covers it (the overlapped-communication path, where the flow span is
+// the only record of the transfer).
+func (n *Network) StartBound(name, bound string, size units.Bytes, latency units.Seconds, cs ...*Constraint) *Flow {
 	if size <= 0 && latency <= 0 {
-		f := &Flow{name: name, done: sim.NewSignal(n.eng), finished: true}
+		f := &Flow{name: name, bound: bound, done: sim.NewSignal(n.eng), finished: true}
 		return f
 	}
 	if latency > 0 {
-		f := &Flow{name: name, remaining: float64(size), size: float64(size), cs: cs, done: sim.NewSignal(n.eng)}
+		f := &Flow{name: name, bound: bound, remaining: float64(size), size: float64(size), cs: cs, done: sim.NewSignal(n.eng)}
 		n.eng.Schedule(latency, func() {
 			if f.remaining <= 0 {
 				n.completePending(f)
@@ -148,7 +161,7 @@ func (n *Network) Start(name string, size units.Bytes, latency units.Seconds, cs
 		})
 		return f
 	}
-	return n.start(name, size, cs)
+	return n.start(name, bound, size, cs)
 }
 
 // completePending finishes a latency-only flow.
@@ -167,8 +180,8 @@ func (f *Flow) Wait(p *sim.Proc) {
 
 // start registers a flow and returns it; flows with no constraints
 // complete instantly.
-func (n *Network) start(name string, size units.Bytes, cs []*Constraint) *Flow {
-	f := &Flow{name: name, remaining: float64(size), size: float64(size), cs: cs, done: sim.NewSignal(n.eng)}
+func (n *Network) start(name, bound string, size units.Bytes, cs []*Constraint) *Flow {
+	f := &Flow{name: name, bound: bound, remaining: float64(size), size: float64(size), cs: cs, done: sim.NewSignal(n.eng)}
 	if len(cs) == 0 {
 		f.finished = true
 		return f
@@ -277,6 +290,7 @@ func (n *Network) finish(f *Flow) {
 	obs.Emit(n.obs, obs.Span{
 		Name: f.name, Cat: "flow", GPU: -1, Stack: -1,
 		Start: f.start, End: n.eng.Now(), Bytes: units.Bytes(f.size),
+		Bound: f.bound,
 	})
 	f.done.Fire()
 }

@@ -222,7 +222,7 @@ func TestFlowAccessors(t *testing.T) {
 	e := sim.NewEngine()
 	n := NewNetwork(e)
 	c := n.MustConstraint("pipe", 100)
-	f := n.start("probe", 500, []*Constraint{c})
+	f := n.start("probe", "", 500, []*Constraint{c})
 	if f.Finished() {
 		t.Error("flow should be active")
 	}

@@ -12,6 +12,7 @@ import (
 	"pvcsim/internal/fabric"
 	"pvcsim/internal/obs"
 	"pvcsim/internal/perfmodel"
+	"pvcsim/internal/prof"
 	"pvcsim/internal/sim"
 	"pvcsim/internal/topology"
 	"pvcsim/internal/units"
@@ -159,12 +160,16 @@ func (s *Stack) queue() *sim.Resource {
 // profile on this stack. Kernels on the same stack serialize through its
 // in-order compute queue, as on real hardware: two processes launching on
 // one stack take the sum of their kernel times, not the max.
-func (s *Stack) LaunchKernel(p *sim.Proc, prof perfmodel.Profile) {
+func (s *Stack) LaunchKernel(p *sim.Proc, kp perfmodel.Profile) {
 	q := s.queue()
 	q.Acquire(p)
 	start := p.Now()
-	p.Hold(s.m.Model.SubdeviceTime(prof))
-	s.m.record(prof.Name, "kernel", s.ID, start, p.Now(), prof.MemBytes, prof.Flops)
+	p.Hold(s.m.Model.SubdeviceTime(kp))
+	bound := ""
+	if s.m.obs != nil {
+		bound = s.m.Model.Attribution(kp)
+	}
+	s.m.record(kp.Name, "kernel", s.ID, start, p.Now(), kp.MemBytes, kp.Flops, bound)
 	q.Release()
 }
 
@@ -180,7 +185,7 @@ func (s *Stack) MemcpyH2D(p *sim.Proc, size units.Bytes) {
 	cs := append(c.pcie.Dir(false), s.m.poolH2D, s.m.poolBidir)
 	start := p.Now()
 	s.m.Net.Transfer(p, fmt.Sprintf("h2d:%v", s.ID), size, c.pcie.Latency, cs...)
-	s.m.record("memcpy", "h2d", s.ID, start, p.Now(), size, 0)
+	s.m.record("memcpy", "h2d", s.ID, start, p.Now(), size, 0, prof.BoundPCIe)
 }
 
 // MemcpyD2H transfers size bytes from the stack to pinned host memory.
@@ -189,7 +194,7 @@ func (s *Stack) MemcpyD2H(p *sim.Proc, size units.Bytes) {
 	cs := append(c.pcie.Dir(true), s.m.poolD2H, s.m.poolBidir)
 	start := p.Now()
 	s.m.Net.Transfer(p, fmt.Sprintf("d2h:%v", s.ID), size, c.pcie.Latency, cs...)
-	s.m.record("memcpy", "d2h", s.ID, start, p.Now(), size, 0)
+	s.m.record("memcpy", "d2h", s.ID, start, p.Now(), size, 0, prof.BoundPCIe)
 }
 
 // MemcpyD2D transfers size bytes from this stack to dst, routed per the
@@ -205,7 +210,7 @@ func (s *Stack) MemcpyD2D(p *sim.Proc, dst topology.StackID, size units.Bytes) e
 		// Local copy at memory bandwidth: two passes (read + write).
 		t := units.TimeToMove(2*size, units.ByteRate(float64(s.m.Node.GPU.Sub.MemBWSustained)))
 		p.Hold(t)
-		s.m.record("memcpy", "d2d", s.ID, start, p.Now(), size, 0)
+		s.m.record("memcpy", "d2d", s.ID, start, p.Now(), size, 0, routeBound(kind))
 		return nil
 	case topology.LocalStack:
 		c := s.m.cards[s.ID.GPU]
@@ -215,7 +220,7 @@ func (s *Stack) MemcpyD2D(p *sim.Proc, dst topology.StackID, size units.Bytes) e
 		rev := s.ID.Stack > dst.Stack
 		s.m.countHops(kind)
 		s.m.Net.Transfer(p, fmt.Sprintf("d2d:%v->%v", s.ID, dst), size, c.internal.Latency, c.internal.Dir(rev)...)
-		s.m.record("memcpy", "d2d", s.ID, start, p.Now(), size, 0)
+		s.m.record("memcpy", "d2d", s.ID, start, p.Now(), size, 0, routeBound(kind))
 		return nil
 	case topology.RemoteDirect, topology.RemoteExtraHop:
 		link := s.m.peerLink(s.ID, dst)
@@ -233,10 +238,27 @@ func (s *Stack) MemcpyD2D(p *sim.Proc, dst topology.StackID, size units.Bytes) e
 		}
 		s.m.countHops(kind)
 		s.m.Net.Transfer(p, fmt.Sprintf("d2d:%v->%v", s.ID, dst), size, latency, cs...)
-		s.m.record("memcpy", "d2d", s.ID, start, p.Now(), size, 0)
+		s.m.record("memcpy", "d2d", s.ID, start, p.Now(), size, 0, routeBound(kind))
 		return nil
 	default:
 		return fmt.Errorf("gpusim: unroutable path %v -> %v", s.ID, dst)
+	}
+}
+
+// routeBound maps a routed transfer path onto its binding resource:
+// same-stack copies run at HBM bandwidth, sibling stacks cross the
+// in-card MDFI link, plane-aligned peers take one Xe-Link hop, and
+// cross-plane pairs pay the extra internal hop.
+func routeBound(kind topology.PathKind) string {
+	switch kind {
+	case topology.SameStack:
+		return prof.BoundHBM
+	case topology.LocalStack:
+		return prof.BoundFabricLocal
+	case topology.RemoteExtraHop:
+		return prof.BoundFabricXPlane
+	default:
+		return prof.BoundFabricRemote
 	}
 }
 
@@ -262,7 +284,7 @@ func (s *Stack) StartD2D(dst topology.StackID, size units.Bytes) (*fabric.Flow, 
 	switch kind {
 	case topology.SameStack:
 		t := units.TimeToMove(2*size, units.ByteRate(float64(s.m.Node.GPU.Sub.MemBWSustained)))
-		return s.m.Net.Start(fmt.Sprintf("d2d:%v", s.ID), 0, t), nil
+		return s.m.Net.StartBound(fmt.Sprintf("d2d:%v", s.ID), routeBound(kind), 0, t), nil
 	case topology.LocalStack:
 		c := s.m.cards[s.ID.GPU]
 		if c.internal == nil {
@@ -270,7 +292,7 @@ func (s *Stack) StartD2D(dst topology.StackID, size units.Bytes) (*fabric.Flow, 
 		}
 		rev := s.ID.Stack > dst.Stack
 		s.m.countHops(kind)
-		return s.m.Net.Start(fmt.Sprintf("d2d:%v->%v", s.ID, dst), size, c.internal.Latency, c.internal.Dir(rev)...), nil
+		return s.m.Net.StartBound(fmt.Sprintf("d2d:%v->%v", s.ID, dst), routeBound(kind), size, c.internal.Latency, c.internal.Dir(rev)...), nil
 	case topology.RemoteDirect, topology.RemoteExtraHop:
 		link := s.m.peerLink(s.ID, dst)
 		rev := s.ID.GPU > dst.GPU
@@ -284,7 +306,7 @@ func (s *Stack) StartD2D(dst topology.StackID, size units.Bytes) (*fabric.Flow, 
 			}
 		}
 		s.m.countHops(kind)
-		return s.m.Net.Start(fmt.Sprintf("d2d:%v->%v", s.ID, dst), size, latency, cs...), nil
+		return s.m.Net.StartBound(fmt.Sprintf("d2d:%v->%v", s.ID, dst), routeBound(kind), size, latency, cs...), nil
 	default:
 		return nil, fmt.Errorf("gpusim: unroutable path %v -> %v", s.ID, dst)
 	}

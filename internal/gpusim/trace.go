@@ -101,8 +101,9 @@ func (m *Machine) Recorder() *Recorder { return m.rec }
 
 // record is the internal hook used by the stack operations. It feeds
 // both the legacy per-machine Recorder (examples/timeline) and, when
-// attached, the obs layer's per-cell trace.
-func (m *Machine) record(name, kind string, st topology.StackID, start, end units.Seconds, bytes units.Bytes, flops float64) {
+// attached, the obs layer's per-cell trace; bound is the operation's
+// binding-resource tag (prof taxonomy), stamped onto the obs span.
+func (m *Machine) record(name, kind string, st topology.StackID, start, end units.Seconds, bytes units.Bytes, flops float64, bound string) {
 	if m.rec != nil {
 		m.rec.add(TraceEvent{Name: name, Kind: kind, Stack: st, Start: start, End: end, Bytes: bytes})
 	}
@@ -110,6 +111,7 @@ func (m *Machine) record(name, kind string, st topology.StackID, start, end unit
 		m.obs.Span(obs.Span{
 			Name: name, Cat: kind, GPU: st.GPU, Stack: st.Stack,
 			Start: start, End: end, Bytes: bytes, Flops: flops,
+			Bound: bound,
 		})
 	}
 }

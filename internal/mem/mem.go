@@ -129,6 +129,23 @@ func (h *Hierarchy) LevelFor(footprint units.Bytes) hw.CacheLevel {
 	return h.Levels[len(h.Levels)-1]
 }
 
+// CacheResident returns the innermost *cache* level whose capacity
+// holds the footprint and true; a footprint that spills past the last
+// cache is served by the outermost (backing-memory) level, returned
+// with false. perfmodel uses this to attribute memory-bound kernels to
+// the cache ceiling that actually serves their working set.
+func (h *Hierarchy) CacheResident(footprint units.Bytes) (hw.CacheLevel, bool) {
+	for i, lv := range h.Levels {
+		if i == len(h.Levels)-1 {
+			break
+		}
+		if footprint <= lv.Capacity {
+			return lv, true
+		}
+	}
+	return h.Levels[len(h.Levels)-1], false
+}
+
 // SweepPoint is one sample of the Figure 1 latency curve.
 type SweepPoint struct {
 	Footprint units.Bytes

@@ -21,6 +21,7 @@ type Collector struct {
 	cells    map[Key]*cell
 	memoHits int64
 	memoMiss int64
+	orphans  int64
 }
 
 // NewCollector returns an empty collector.
@@ -41,12 +42,17 @@ func (c *Collector) Cell(k Key) *Trace {
 }
 
 // Finish records the cell's outcome: its wall-clock duration (summary
-// only, never exported) and its error, if any.
+// only, never exported) and its error, if any. Finishing a key no
+// worker ever registered via Cell is a runner bookkeeping bug; rather
+// than silently fabricating an empty trace, it is counted as an orphan
+// finish (exported as orphan_finishes and flagged in the summary) while
+// still keeping the outcome so the wall time and error are not lost.
 func (c *Collector) Finish(k Key, wall time.Duration, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.cells[k]
 	if !ok {
+		c.orphans++
 		e = &cell{trace: NewTrace()}
 		c.cells[k] = e
 	}
@@ -91,7 +97,7 @@ func (c *Collector) Report() *RunReport {
 		}
 		return a.Params < b.Params
 	})
-	rep := &RunReport{MemoHits: c.memoHits, MemoMisses: c.memoMiss}
+	rep := &RunReport{MemoHits: c.memoHits, MemoMisses: c.memoMiss, OrphanFinishes: c.orphans}
 	for _, k := range keys {
 		e := c.cells[k]
 		rep.Cells = append(rep.Cells, CellReport{

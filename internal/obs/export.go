@@ -36,7 +36,11 @@ func (c CellReport) Spans() []Span { return c.spans }
 type RunReport struct {
 	MemoHits   int64        `json:"memo_hits"`
 	MemoMisses int64        `json:"memo_misses"`
-	Cells      []CellReport `json:"cells"`
+	// OrphanFinishes counts Finish calls for keys no worker ever
+	// registered a trace for — each one is a runner bookkeeping bug
+	// (outcome recorded for a cell that never recorded spans).
+	OrphanFinishes int64        `json:"orphan_finishes"`
+	Cells          []CellReport `json:"cells"`
 }
 
 // WriteMetrics writes the machine-readable metrics dump as indented
@@ -114,6 +118,9 @@ func (r *RunReport) WriteChromeTrace(w io.Writer) error {
 			if s.Flops != 0 {
 				args["flops"] = s.Flops
 			}
+			if s.Bound != "" {
+				args["bound"] = s.Bound
+			}
 			if len(args) == 0 {
 				args = nil
 			}
@@ -156,6 +163,13 @@ func (r *RunReport) Summary(w io.Writer) error {
 	if err := tw.Flush(); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "memo: %d computed, %d cached\n", r.MemoMisses, r.MemoHits)
-	return err
+	if _, err := fmt.Fprintf(w, "memo: %d computed, %d cached\n", r.MemoMisses, r.MemoHits); err != nil {
+		return err
+	}
+	if r.OrphanFinishes > 0 {
+		if _, err := fmt.Fprintf(w, "WARNING: %d orphan finish(es) — outcome recorded for cell(s) that never registered a trace\n", r.OrphanFinishes); err != nil {
+			return err
+		}
+	}
+	return nil
 }

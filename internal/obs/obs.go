@@ -36,6 +36,7 @@ type Span struct {
 	End   units.Seconds // simulated end time
 	Bytes units.Bytes   // bytes moved, 0 for pure compute
 	Flops float64       // arithmetic operations, 0 for pure transfers
+	Bound string        // binding resource (prof taxonomy); "" when covered by an enclosing span
 }
 
 // Duration returns the span's simulated extent.
@@ -114,8 +115,10 @@ func less(a, b Span) bool {
 		return a.Name < b.Name
 	case a.Bytes != b.Bytes:
 		return a.Bytes < b.Bytes
-	default:
+	case a.Flops != b.Flops:
 		return a.Flops < b.Flops
+	default:
+		return a.Bound < b.Bound
 	}
 }
 

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
@@ -202,6 +203,80 @@ func TestSummary(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("summary missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestSummaryGolden pins the exact bytes of the human summary table:
+// the tabwriter layout, the SimEnd formatting, the per-cell error
+// suffix, the memo line, and the orphan-finish warning. Wall-clock
+// durations are inputs here, so the output is fully deterministic.
+func TestSummaryGolden(t *testing.T) {
+	col := NewCollector()
+	good := Key{Workload: "clover-scaling", System: "aurora", Params: "ranks=12"}
+	col.Cell(good).Span(Span{Name: "k", Start: 0, End: 0.25})
+	col.Finish(good, 1500*time.Microsecond, nil)
+	bad := Key{Workload: "gemm", System: "dawn"}
+	col.Cell(bad)
+	col.Finish(bad, 250*time.Microsecond, errors.New("boom"))
+	col.MemoMiss()
+	col.MemoMiss()
+	col.MemoHit()
+	// An orphan: finished without ever registering a trace.
+	col.Finish(Key{Workload: "ghost", System: "h100"}, 0, nil)
+	var buf bytes.Buffer
+	if err := col.Report().Summary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "CELL                                EVENTS  SIM END  WALL\n" +
+		"clover-scaling @ aurora [ranks=12]  1       0.25s    1.5ms\n" +
+		"gemm @ dawn                         0       0s       250µs  ERROR: boom\n" +
+		"ghost @ h100                        0       0s       0s\n" +
+		"total                                                1.75ms\n" +
+		"memo: 2 computed, 1 cached\n" +
+		"WARNING: 1 orphan finish(es) — outcome recorded for cell(s) that never registered a trace\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("summary drifted from golden:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+// TestOrphanFinish covers the Finish-without-Cell path: the outcome is
+// kept (wall and error survive into the report), but the bookkeeping
+// slip is counted and exported instead of silently papered over.
+func TestOrphanFinish(t *testing.T) {
+	col := NewCollector()
+	k := Key{Workload: "w", System: "aurora"}
+	col.Cell(k)
+	col.Finish(k, 0, nil)
+	col.Finish(Key{Workload: "ghost", System: "dawn"}, 7*time.Millisecond, errors.New("lost"))
+	rep := col.Report()
+	if rep.OrphanFinishes != 1 {
+		t.Fatalf("OrphanFinishes = %d, want 1", rep.OrphanFinishes)
+	}
+	if len(rep.Cells) != 2 {
+		t.Fatalf("cells = %d, want 2 (orphan outcome must not be dropped)", len(rep.Cells))
+	}
+	ghost := rep.Cells[0] // "ghost" sorts before "w"
+	if ghost.Workload != "ghost" || ghost.Wall != 7*time.Millisecond || ghost.Error != "lost" {
+		t.Fatalf("orphan outcome lost: %+v", ghost)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"orphan_finishes": 1`) {
+		t.Fatalf("metrics export missing orphan_finishes:\n%s", buf.String())
+	}
+
+	// A clean run exports orphan_finishes: 0 and prints no warning.
+	clean := NewCollector()
+	clean.Cell(k)
+	clean.Finish(k, 0, nil)
+	buf.Reset()
+	if err := clean.Report().Summary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "WARNING") {
+		t.Fatalf("clean run prints an orphan warning:\n%s", buf.String())
 	}
 }
 

@@ -17,8 +17,10 @@ import (
 	"math"
 
 	"pvcsim/internal/hw"
+	"pvcsim/internal/mem"
 	"pvcsim/internal/obs"
 	"pvcsim/internal/power"
+	"pvcsim/internal/prof"
 	"pvcsim/internal/topology"
 	"pvcsim/internal/units"
 )
@@ -250,7 +252,9 @@ type Model struct {
 	Cal  *Calibration
 	Var  Variant
 
-	obs obs.Recorder
+	obs  obs.Recorder
+	prof prof.Recorder
+	mem  *mem.Hierarchy
 }
 
 // Observe attaches a recorder to the model and its governor. Timed
@@ -261,6 +265,11 @@ func (m *Model) Observe(r obs.Recorder) {
 	m.Gov.Observe(r)
 }
 
+// SetProfiler attaches a bound-attribution recorder: every priced
+// launch then samples its Attribution for the span's full duration.
+// Like Observe, nil detaches and keeps the hot path free.
+func (m *Model) SetProfiler(r prof.Recorder) { m.prof = r }
+
 // New builds a model for the node with the default calibration.
 func New(node *topology.NodeSpec) *Model {
 	return &Model{
@@ -268,7 +277,17 @@ func New(node *topology.NodeSpec) *Model {
 		Gov:  power.NewGovernor(node.GPU),
 		Cal:  DefaultCalibration(),
 		Var:  VariantOf(node.System),
+		mem:  mem.NewHierarchy(&node.GPU.Sub),
 	}
+}
+
+// hierarchy returns the node's memory hierarchy, building it on first
+// use for models assembled without New.
+func (m *Model) hierarchy() *mem.Hierarchy {
+	if m.mem == nil {
+		m.mem = mem.NewHierarchy(&m.Node.GPU.Sub)
+	}
+	return m.mem
 }
 
 // SustainedRate returns the achievable throughput of one subdevice (stack
@@ -323,10 +342,11 @@ type Profile struct {
 // a high-level runtime (SYCL/OpenMP offload).
 const DefaultLaunchOverhead units.Seconds = 10 * units.Microsecond
 
-// SubdeviceTime returns the roofline execution time of the profile on one
-// subdevice: max of calibrated compute time and memory time, plus launch
-// overhead.
-func (m *Model) SubdeviceTime(p Profile) units.Seconds {
+// timing evaluates the roofline terms of a profile on one subdevice:
+// calibrated compute time, memory time, and the fixed launch overhead.
+// Both SubdeviceTime and Attribution derive from it, so the priced span
+// and its bound tag can never disagree.
+func (m *Model) timing(p Profile) (tComp, tMem, launch units.Seconds) {
 	var computeRate units.Rate
 	if p.Engine == hw.MatrixEngine {
 		computeRate = units.Rate(float64(m.Gov.SustainedPeak(hw.MatrixEngine, p.Precision)) *
@@ -334,28 +354,37 @@ func (m *Model) SubdeviceTime(p Profile) units.Seconds {
 	} else {
 		computeRate = m.VectorRate(p.Kind, p.Precision)
 	}
-	tComp := units.Seconds(0)
 	if p.Flops > 0 {
 		tComp = units.TimeToCompute(p.Flops, computeRate)
 	}
-	tMem := units.Seconds(0)
 	if p.MemBytes > 0 {
 		tMem = units.TimeToMove(p.MemBytes, m.MemBandwidth(1))
 	}
+	launch = p.Launch
+	if launch == 0 {
+		launch = DefaultLaunchOverhead
+	}
+	return tComp, tMem, launch
+}
+
+// SubdeviceTime returns the roofline execution time of the profile on one
+// subdevice: max of calibrated compute time and memory time, plus launch
+// overhead.
+func (m *Model) SubdeviceTime(p Profile) units.Seconds {
+	tComp, tMem, launch := m.timing(p)
 	t := tComp
 	if tMem > t {
 		t = tMem
 	}
-	launch := p.Launch
-	if launch == 0 {
-		launch = DefaultLaunchOverhead
-	}
 	if m.obs != nil {
 		m.obs.Add("model.flops", p.Flops)
 		m.obs.Add("model.mem_bytes", float64(p.MemBytes))
-		if cl := m.Gov.ClockFor(p.Engine, p.Precision); cl < m.Node.GPU.Power.MaxClock {
+		if m.Gov.Throttled(p.Engine, p.Precision) {
 			m.obs.Add("power.throttled_s", float64(t+launch))
 		}
+	}
+	if m.prof != nil {
+		m.prof.Sample(m.Attribution(p), float64(t+launch))
 	}
 	return t + launch
 }
@@ -364,17 +393,43 @@ func (m *Model) SubdeviceTime(p Profile) units.Seconds {
 // node ("compute" / "memory"), the classification Table V assigns to each
 // mini-app.
 func (m *Model) Bound(p Profile) string {
-	var computeRate units.Rate
-	if p.Engine == hw.MatrixEngine {
-		computeRate = units.Rate(float64(m.Gov.SustainedPeak(hw.MatrixEngine, p.Precision)) *
-			m.Cal.Efficiency(m.Var, p.Kind, p.Precision))
-	} else {
-		computeRate = m.VectorRate(p.Kind, p.Precision)
-	}
-	tComp := units.TimeToCompute(p.Flops, computeRate)
-	tMem := units.TimeToMove(p.MemBytes, m.MemBandwidth(1))
+	tComp, tMem, _ := m.timing(p)
 	if tComp >= tMem {
 		return "compute"
 	}
 	return "memory"
+}
+
+// Attribution returns the binding resource of the profile on this node
+// as a prof-taxonomy tag: which ceiling of the roofline — or which
+// constraint outside it — the launch's duration is actually set by.
+//
+//   - Neither roofline term positive: the fixed launch overhead is all
+//     there is ("launch", the left edge of the X18 sweep).
+//   - Compute-bound with the governed clock below MaxClock: the TDP
+//     governor, not the pipeline, sets the time ("power.throttle",
+//     §IV-B2).
+//   - Compute-bound otherwise: the pipeline at the launch's precision
+//     ("compute.fp64", ...).
+//   - Memory-bound with a working set held by an on-chip cache: that
+//     cache's ceiling ("cache.l2", ...).
+//   - Memory-bound otherwise: device-memory bandwidth ("hbm").
+func (m *Model) Attribution(p Profile) string {
+	tComp, tMem, _ := m.timing(p)
+	switch {
+	case tComp <= 0 && tMem <= 0:
+		return prof.BoundLaunch
+	case tComp >= tMem:
+		if m.Gov.Throttled(p.Engine, p.Precision) {
+			return prof.BoundPower
+		}
+		return prof.BoundCompute(p.Precision)
+	default:
+		if p.WorkingSet > 0 {
+			if lv, ok := m.hierarchy().CacheResident(p.WorkingSet); ok {
+				return prof.BoundCache(lv.Name)
+			}
+		}
+		return prof.BoundHBM
+	}
 }

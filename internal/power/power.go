@@ -52,19 +52,31 @@ func (g *Governor) weight(w hw.WorkloadClass) float64 {
 // given workload class, honoring the per-domain power cap and the maximum
 // clock.
 func (g *Governor) OperatingClock(w hw.WorkloadClass) units.Frequency {
+	f, throttled := g.governedClock(w)
+	if throttled {
+		obs.Count(g.obs, "power.throttle_events", 1)
+	}
+	return f
+}
+
+// governedClock is the side-effect-free core of OperatingClock: the
+// sustained frequency plus whether the TDP budget pinned it below
+// MaxClock. Attribution queries go through this path so that asking
+// "is this throttled?" never perturbs the throttle-event counters.
+func (g *Governor) governedClock(w hw.WorkloadClass) (units.Frequency, bool) {
 	p := g.dev.Power
 	max := p.MaxClock
 	wt := g.weight(w)
 	if wt <= 0 {
-		return max
+		return max, false
 	}
 	budget := g.dev.DomainCapW() - p.IdleW
 	if budget <= 0 {
-		return p.IdleClock
+		return p.IdleClock, p.IdleClock < max
 	}
 	denom := float64(g.dev.Sub.CoreCount) * p.CoreDynW * wt
 	if denom <= 0 {
-		return max
+		return max, false
 	}
 	// Aurora pins the *idle* frequency at 1.6 GHz (§III); that setting
 	// removes ramp-up transients but does not raise the sustained loaded
@@ -74,10 +86,15 @@ func (g *Governor) OperatingClock(w hw.WorkloadClass) units.Frequency {
 	if f > max {
 		f = max
 	}
-	if f < max {
-		obs.Count(g.obs, "power.throttle_events", 1)
-	}
-	return f
+	return f, f < max
+}
+
+// Throttled reports whether the governed clock for the pipeline and
+// precision sits below MaxClock — i.e. the power cap, not the pipeline,
+// is the binding resource. Unlike OperatingClock it records nothing.
+func (g *Governor) Throttled(class hw.EngineClass, prec hw.Precision) bool {
+	_, throttled := g.governedClock(hw.ClassOf(class, prec))
+	return throttled
 }
 
 // PowerAt returns the modeled domain power draw in watts at frequency f

@@ -1,0 +1,61 @@
+package prof
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// WallStats is the wall-clock side of a bench record — the only place
+// in the repo where wall time is machine-readable, kept in its own
+// struct so it can never be confused with the simulated figures next to
+// it.
+type WallStats struct {
+	RunMS float64 `json:"run_ms"` // wall-clock duration of the bench run
+	Jobs  int     `json:"jobs"`   // runner parallelism the run used
+	Cells int     `json:"cells"`  // cells computed
+}
+
+// Record is one canonical bench entry: the simulated figures of merit
+// (deterministic, diffable exactly) plus the wall-clock cost of
+// producing them (the simulator's own performance trajectory).
+type Record struct {
+	Schema int                `json:"schema_version"`
+	Date   string             `json:"date"` // YYYY-MM-DD, stamped by the caller
+	Label  string             `json:"label,omitempty"`
+	Sim    map[string]float64 `json:"sim"` // "metric@system" → simulated value
+	Wall   WallStats          `json:"wall"`
+}
+
+// ReadRecords loads a bench file (a JSON array of Records). A missing
+// file is an empty history, not an error.
+func ReadRecords(path string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var recs []Record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("prof: parsing %s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// AppendRecord appends rec to the bench file, creating it when absent.
+// Records accumulate — the file is the simulator's performance history,
+// so nothing is ever rewritten or dropped.
+func AppendRecord(path string, rec Record) error {
+	recs, err := ReadRecords(path)
+	if err != nil {
+		return err
+	}
+	recs = append(recs, rec)
+	data, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

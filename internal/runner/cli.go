@@ -9,18 +9,21 @@ import (
 	"strings"
 
 	"pvcsim/internal/obs"
+	"pvcsim/internal/prof"
 	"pvcsim/internal/report"
 	"pvcsim/internal/topology"
 	"pvcsim/internal/workload"
 )
 
-// ObsFlags bundles the observability flags (-trace, -metrics) shared by
-// the command line tools: Register them on the flag set, Attach the
-// resulting collector to every runner the tool uses, and Finish once to
-// write the requested files plus a per-cell summary on stderr.
+// ObsFlags bundles the observability flags (-trace, -metrics, -profile)
+// shared by the command line tools: Register them on the flag set,
+// Attach the resulting collector to every runner the tool uses, and
+// Finish once to write the requested files plus a per-cell summary on
+// stderr.
 type ObsFlags struct {
 	Trace   string
 	Metrics string
+	Profile string
 	col     *obs.Collector
 }
 
@@ -30,10 +33,12 @@ func (f *ObsFlags) Register(fs *flag.FlagSet) {
 		"write a Chrome trace-event JSON timeline of every computed cell to `file` (open in Perfetto / about:tracing)")
 	fs.StringVar(&f.Metrics, "metrics", "",
 		"write a machine-readable JSON metrics report (per-cell counters, simulated quantities only) to `file`")
+	fs.StringVar(&f.Profile, "profile", "",
+		"write a bound-attribution profile (per-cell residency under each resource ceiling) to `file`; inspect with pvcprof")
 }
 
 // Enabled reports whether any observability output was requested.
-func (f *ObsFlags) Enabled() bool { return f.Trace != "" || f.Metrics != "" }
+func (f *ObsFlags) Enabled() bool { return f.Trace != "" || f.Metrics != "" || f.Profile != "" }
 
 // Attach wires one shared collector into the runners when an output was
 // requested; with neither flag set it attaches nothing, keeping the hot
@@ -77,6 +82,11 @@ func (f *ObsFlags) Finish(summary io.Writer) error {
 	if f.Metrics != "" {
 		if err := write(f.Metrics, rep.WriteMetrics); err != nil {
 			return fmt.Errorf("runner: writing metrics: %w", err)
+		}
+	}
+	if f.Profile != "" {
+		if err := write(f.Profile, prof.Build(rep).WriteJSON); err != nil {
+			return fmt.Errorf("runner: writing profile: %w", err)
 		}
 	}
 	if summary != nil {
