@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet build lint test race bench artifacts trace-demo profile-demo bench-record bench-check clean
+.PHONY: check vet build lint test race bench artifacts trace-demo profile-demo bench-record bench-check serve-demo smoke clean
 
 check: vet build lint race
 
@@ -61,6 +61,21 @@ bench-record: build
 bench-check: build
 	$(GO) run ./cmd/pvcprof bench -jobs 0 -out bench-current.json
 	$(GO) run ./cmd/pvcprof diff BENCH_baseline.json bench-current.json
+
+# Boot the pvcd simulation service in the foreground (Ctrl-C drains and
+# exits). Drive it with curl: POST /v1/runs, stream /v1/runs/{id}/events
+# with curl -N, scrape /metrics. See DESIGN.md §10 for the full API.
+serve-demo: build
+	@echo "pvcd on :8321 — try, from another terminal:"
+	@echo "  curl -X POST localhost:8321/v1/runs -d '{\"workload\":\"clover-scaling\",\"jobs\":4}'"
+	@echo "  curl -N localhost:8321/v1/runs/r0001/events"
+	@echo "  curl localhost:8321/metrics"
+	$(GO) run ./cmd/pvcd -addr :8321 -jobs 0
+
+# End-to-end daemon smoke test: boot, readiness, one run over the API,
+# strict-parse /metrics, graceful SIGTERM drain. Same script CI runs.
+smoke: build
+	./scripts/pvcd-smoke.sh
 
 clean:
 	rm -rf artifacts trace-demo.json profile-demo.json profile-demo.folded bench-current.json

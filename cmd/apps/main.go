@@ -24,6 +24,7 @@ import (
 	"pvcsim/internal/paper"
 	"pvcsim/internal/report"
 	"pvcsim/internal/runner"
+	"pvcsim/internal/telemetry"
 	"pvcsim/internal/topology"
 )
 
@@ -37,7 +38,12 @@ func main() {
 	jobs := flag.Int("jobs", 1, "parallel simulation workers; 0 = all CPUs")
 	var obsf runner.ObsFlags
 	obsf.Register(flag.CommandLine)
+	var logf telemetry.LogFlags
+	logf.Register(flag.CommandLine)
 	flag.Parse()
+	if _, err := logf.Setup(os.Stderr); err != nil {
+		log.Fatal(err)
+	}
 
 	study := core.NewParallelStudy(*jobs)
 	obsf.Attach(study.Runner())

@@ -21,6 +21,7 @@ import (
 	"pvcsim/internal/hw"
 	"pvcsim/internal/power"
 	"pvcsim/internal/runner"
+	"pvcsim/internal/telemetry"
 	"pvcsim/internal/topology"
 	"pvcsim/internal/units"
 	"pvcsim/internal/workload"
@@ -35,7 +36,12 @@ func main() {
 	jobs := flag.Int("jobs", 1, "parallel probe workers when observability output is requested; 0 = all CPUs")
 	var obsf runner.ObsFlags
 	obsf.Register(flag.CommandLine)
+	var logf telemetry.LogFlags
+	logf.Register(flag.CommandLine)
 	flag.Parse()
+	if _, err := logf.Setup(os.Stderr); err != nil {
+		log.Fatal(err)
+	}
 
 	if *config != "" {
 		f, err := os.Open(*config)

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"archive/zip"
+	"bytes"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"pvcsim/internal/core"
+)
+
+// renderArtifactsZip writes the study's complete artifact set into a
+// scratch directory and packs it into a byte-deterministic zip: entries
+// sorted by path, timestamps zeroed, stored uncompressed. Because the
+// artifact files themselves are byte-identical across worker counts
+// (core's determinism tests), so is the archive — which is what lets
+// the HTTP determinism test compare zips across -jobs settings.
+func renderArtifactsZip(study *core.Study) ([]byte, error) {
+	dir, err := os.MkdirTemp("", "pvcd-artifacts-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	if err := study.WriteAllArtifacts(dir); err != nil {
+		return nil, err
+	}
+
+	var paths []string
+	err = filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			paths = append(paths, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+
+	var buf bytes.Buffer
+	zw := zip.NewWriter(&buf)
+	for _, path := range paths {
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		hdr := &zip.FileHeader{Name: filepath.ToSlash(rel), Method: zip.Store}
+		f, err := zw.CreateHeader(hdr)
+		if err != nil {
+			return nil, err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := f.Write(data); err != nil {
+			return nil, err
+		}
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

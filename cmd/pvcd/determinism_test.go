@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+
+	"pvcsim/internal/core"
+	"pvcsim/internal/obs"
+	"pvcsim/internal/runner"
+)
+
+// getBytes fetches a 200 body or fails the test.
+func getBytes(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	return body
+}
+
+// apiMetricsExport submits a workload through the HTTP API and returns
+// the run's simulated metrics export.
+func apiMetricsExport(t *testing.T, spec string) []byte {
+	t.Helper()
+	s, ts := testServer(t, 1)
+	id := submitRun(t, ts, spec)
+	rn := waitRun(t, s, id)
+	if st := s.statusOf(rn); st.Status != "done" {
+		t.Fatalf("run %s = %s (error %q)", id, st.Status, st.Error)
+	}
+	return getBytes(t, ts.URL+"/v1/runs/"+id+"/metrics")
+}
+
+// cliMetricsExport runs the same workload the way pvcbench does —
+// parallel study, observed runner, RunNamed — and renders the same
+// metrics export the -metrics flag writes.
+func cliMetricsExport(t *testing.T, jobs int) []byte {
+	t.Helper()
+	study := core.NewParallelStudy(jobs)
+	col := obs.NewCollector()
+	study.Runner().Observe(col)
+	err := runner.RunNamed(context.Background(), io.Discard, study.Runner(), study.Registry(),
+		"clover-scaling", nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := col.Report().WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestDeterminismOverHTTP is the ISSUE's cross-path invariant: the same
+// study submitted through the pvcd API and through the pvcbench CLI
+// path, at any worker count, produces byte-identical simulated metrics
+// exports. The daemon's telemetry layer must not be able to perturb
+// results.
+func TestDeterminismOverHTTP(t *testing.T) {
+	want := cliMetricsExport(t, 1)
+	for _, jobs := range []int{2, 4} {
+		if got := cliMetricsExport(t, jobs); !bytes.Equal(got, want) {
+			t.Errorf("CLI path jobs=%d: metrics export differs from serial at byte %d",
+				jobs, firstDiff(got, want))
+		}
+	}
+	for _, spec := range []string{
+		`{"workload":"clover-scaling","jobs":1}`,
+		`{"workload":"clover-scaling","jobs":2}`,
+		`{"workload":"clover-scaling","jobs":4}`,
+	} {
+		if got := apiMetricsExport(t, spec); !bytes.Equal(got, want) {
+			t.Errorf("API %s: metrics export differs from CLI serial at byte %d",
+				spec, firstDiff(got, want))
+		}
+	}
+}
+
+// firstDiff locates the first differing byte for a readable failure.
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// TestArtifactsZipDeterministicOverHTTP: whole-registry artifact runs
+// download as byte-identical zips whatever the worker count, and match
+// a zip rendered directly from a serial study (the CLI-equivalent
+// path).
+func TestArtifactsZipDeterministicOverHTTP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-registry artifact render")
+	}
+	direct := func() []byte {
+		study := core.NewParallelStudy(1)
+		b, err := renderArtifactsZip(study)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}()
+
+	fetch := func(jobs int) []byte {
+		s, ts := testServer(t, 1)
+		id := submitRun(t, ts, fmt.Sprintf(`{"artifacts":true,"jobs":%d}`, jobs))
+		rn := waitRun(t, s, id)
+		if st := s.statusOf(rn); st.Status != "done" {
+			t.Fatalf("artifacts run jobs=%d = %s (error %q)", jobs, st.Status, st.Error)
+		}
+		return getBytes(t, ts.URL+"/v1/runs/"+id+"/artifacts")
+	}
+	for _, jobs := range []int{1, 2, 4} {
+		got := fetch(jobs)
+		if !bytes.Equal(got, direct) {
+			t.Errorf("artifacts zip jobs=%d differs from direct serial render at byte %d (got %d bytes, want %d)",
+				jobs, firstDiff(got, direct), len(got), len(direct))
+		}
+	}
+}

@@ -1,0 +1,630 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pvcsim/internal/core"
+	"pvcsim/internal/obs"
+	"pvcsim/internal/runner"
+	"pvcsim/internal/telemetry"
+	"pvcsim/internal/topology"
+	"pvcsim/internal/workload"
+)
+
+// runSpec is the POST /v1/runs request body.
+type runSpec struct {
+	// Workload is a registry name, or "" / "all" for every registered
+	// workload.
+	Workload string `json:"workload,omitempty"`
+	// Systems restricts execution; empty means every system the
+	// workload supports.
+	Systems []string `json:"systems,omitempty"`
+	// Jobs is the worker count for this run; 0 uses the daemon default.
+	Jobs int `json:"jobs,omitempty"`
+	// Artifacts additionally renders the complete paper artifact set
+	// (all tables, figures, EXPERIMENTS.md), downloadable as a
+	// deterministic zip at /v1/runs/{id}/artifacts. Requires Workload
+	// to be empty: the artifact study spans the whole registry.
+	Artifacts bool `json:"artifacts,omitempty"`
+}
+
+// cellJSON is one cell's final state in GET /v1/runs/{id}.
+type cellJSON struct {
+	Workload string  `json:"workload"`
+	System   string  `json:"system"`
+	Status   string  `json:"status"` // ok | error
+	Cached   bool    `json:"cached,omitempty"`
+	WallMS   float64 `json:"wall_ms,omitempty"`
+	Error    string  `json:"error,omitempty"`
+}
+
+// event is one SSE payload on /v1/runs/{id}/events.
+type event struct {
+	Seq      int64   `json:"seq"`
+	Phase    string  `json:"phase"` // queued|start|finish|cache-hit|panic|run-done
+	Workload string  `json:"workload,omitempty"`
+	System   string  `json:"system,omitempty"`
+	Cached   bool    `json:"cached,omitempty"`
+	WallMS   float64 `json:"wall_ms,omitempty"`
+	Error    string  `json:"error,omitempty"`
+	Status   string  `json:"status,omitempty"` // run-done only
+}
+
+// broadcaster accumulates a run's event history and wakes subscribers
+// as it grows. Subscribers replay from any index, so a client that
+// connects after the run finished still sees the full lifecycle.
+type broadcaster struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	history []event
+	closed  bool
+}
+
+func newBroadcaster() *broadcaster {
+	b := &broadcaster{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// publish appends the event (stamping its sequence number) and wakes
+// every subscriber.
+func (b *broadcaster) publish(e event) {
+	b.mu.Lock()
+	e.Seq = int64(len(b.history))
+	b.history = append(b.history, e)
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// close marks the stream complete and wakes subscribers one last time.
+func (b *broadcaster) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// wake nudges waiting subscribers without changing state (used when a
+// client disconnects, so its wait loop can observe the dead context).
+func (b *broadcaster) wake() {
+	b.mu.Lock()
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// wait blocks until events beyond from exist (returning them) or the
+// stream closed with nothing newer (returning done=true). The caller
+// arranges cond.Broadcast on context cancellation and re-checks ctx.
+func (b *broadcaster) wait(ctx context.Context, from int) (evs []event, done bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.history) <= from && !b.closed && ctx.Err() == nil {
+		b.cond.Wait()
+	}
+	if len(b.history) > from {
+		evs = append(evs, b.history[from:]...)
+	}
+	return evs, b.closed && from+len(evs) == len(b.history)
+}
+
+// sseHooks feeds runner lifecycle events into a run's broadcaster. It
+// satisfies runner.Hooks structurally.
+type sseHooks struct{ b *broadcaster }
+
+func (h sseHooks) CellQueued(sys, name string) {
+	h.b.publish(event{Phase: "queued", Workload: name, System: sys})
+}
+func (h sseHooks) CellStart(sys, name string) {
+	h.b.publish(event{Phase: "start", Workload: name, System: sys})
+}
+func (h sseHooks) CellFinish(sys, name string, wall time.Duration, cached bool, err error) {
+	e := event{Phase: "finish", Workload: name, System: sys,
+		Cached: cached, WallMS: float64(wall) / float64(time.Millisecond)}
+	if err != nil {
+		e.Error = err.Error()
+	}
+	h.b.publish(e)
+}
+func (h sseHooks) CellCacheHit(sys, name string) {
+	h.b.publish(event{Phase: "cache-hit", Workload: name, System: sys})
+}
+func (h sseHooks) CellPanic(sys, name string, err error) {
+	h.b.publish(event{Phase: "panic", Workload: name, System: sys, Error: err.Error()})
+}
+
+// run is one submitted execution.
+type apiRun struct {
+	id    string
+	spec  runSpec
+	bcast *broadcaster
+	stats *runner.Stats
+	total int
+
+	mu           sync.Mutex
+	status       string // running | done | failed
+	cells        []cellJSON
+	metricsJSON  []byte
+	artifactsZip []byte
+	failure      string
+
+	done chan struct{}
+}
+
+// statusJSON is the GET /v1/runs/{id} response.
+type statusJSON struct {
+	ID            string     `json:"id"`
+	Status        string     `json:"status"`
+	Spec          runSpec    `json:"spec"`
+	CellsTotal    int        `json:"cells_total"`
+	CellsStarted  int64      `json:"cells_started"`
+	CellsFinished int64      `json:"cells_finished"`
+	CacheHits     int64      `json:"cache_hits"`
+	Panics        int64      `json:"panics"`
+	Error         string     `json:"error,omitempty"`
+	Cells         []cellJSON `json:"cells,omitempty"`
+}
+
+// server is the pvcd daemon: the run registry, the shared telemetry,
+// and the HTTP surface.
+type server struct {
+	log         *slog.Logger
+	tele        *telemetry.Telemetry
+	teleHooks   *telemetry.RunnerHooks // one shared instance: its gauges are daemon-wide
+	reg         *workload.Registry
+	defaultJobs int
+
+	draining atomic.Bool
+	wg       sync.WaitGroup
+
+	runCtx    context.Context
+	runCancel context.CancelFunc
+
+	mu     sync.Mutex
+	runs   map[string]*apiRun
+	order  []string
+	nextID int
+}
+
+// newServer builds a daemon around a fresh telemetry set and the
+// default workload registry.
+func newServer(log *slog.Logger, defaultJobs int) *server {
+	if defaultJobs <= 0 {
+		defaultJobs = 1
+	}
+	tele := telemetry.New()
+	ctx, cancel := context.WithCancel(context.Background())
+	return &server{
+		log:         log,
+		tele:        tele,
+		teleHooks:   tele.Hooks(),
+		reg:         workload.DefaultRegistry(),
+		defaultJobs: defaultJobs,
+		runCtx:      ctx,
+		runCancel:   cancel,
+		runs:        map[string]*apiRun{},
+	}
+}
+
+// handler builds the HTTP mux. Every route increments the request
+// counter under a fixed route label (never the raw path, which would
+// explode cardinality).
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	handle := func(pattern, route string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			s.tele.HTTPRequests.With(route).Inc()
+			h(w, r)
+		})
+	}
+	handle("GET /healthz", "healthz", s.handleHealthz)
+	handle("GET /readyz", "readyz", s.handleReadyz)
+	handle("GET /metrics", "metrics", s.handleMetrics)
+	handle("POST /v1/runs", "runs_submit", s.handleSubmit)
+	handle("GET /v1/runs", "runs_list", s.handleList)
+	handle("GET /v1/runs/{id}", "run_status", s.handleStatus)
+	handle("GET /v1/runs/{id}/metrics", "run_metrics", s.handleRunMetrics)
+	handle("GET /v1/runs/{id}/artifacts", "run_artifacts", s.handleRunArtifacts)
+	handle("GET /v1/runs/{id}/events", "run_events", s.handleEvents)
+	return mux
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.tele.WritePrometheus(w); err != nil {
+		s.log.ErrorContext(r.Context(), "metrics render failed", "err", err)
+	}
+}
+
+// apiError writes a JSON error body with the given status.
+func apiError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// resolveCells expands a validated spec into runner cells.
+func (s *server) resolveCells(spec runSpec) ([]runner.Cell, error) {
+	var systems []topology.System
+	for _, name := range spec.Systems {
+		sys, err := topology.ParseSystem(name)
+		if err != nil {
+			return nil, err
+		}
+		systems = append(systems, sys)
+	}
+	var workloads []workload.Workload
+	if spec.Workload == "" || spec.Workload == "all" {
+		workloads = s.reg.Workloads()
+	} else {
+		w, ok := s.reg.Get(spec.Workload)
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q (have %s)",
+				spec.Workload, strings.Join(s.reg.SortedNames(), ", "))
+		}
+		workloads = []workload.Workload{w}
+	}
+	var cells []runner.Cell
+	for _, w := range workloads {
+		targets := w.Systems()
+		if len(systems) > 0 {
+			targets = nil
+			for _, sys := range systems {
+				if !workload.Supports(w, sys) {
+					// Whole-registry runs skip unsupported pairs; a
+					// named workload on an explicit bad system is a
+					// client error.
+					if spec.Workload != "" && spec.Workload != "all" {
+						return nil, fmt.Errorf("workload %q does not run on %s (supported: %v)",
+							w.Name(), sys, w.Systems())
+					}
+					continue
+				}
+				targets = append(targets, sys)
+			}
+		}
+		for _, sys := range targets {
+			cells = append(cells, runner.Cell{System: sys, Workload: w})
+		}
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("spec selects no cells")
+	}
+	return cells, nil
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		apiError(w, http.StatusServiceUnavailable, "daemon is draining")
+		return
+	}
+	var spec runSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		apiError(w, http.StatusBadRequest, "bad run spec: %v", err)
+		return
+	}
+	if spec.Artifacts && spec.Workload != "" {
+		apiError(w, http.StatusBadRequest, "artifacts runs span the whole registry; leave workload empty")
+		return
+	}
+	cells, err := s.resolveCells(spec)
+	if err != nil {
+		apiError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if spec.Jobs < 0 {
+		apiError(w, http.StatusBadRequest, "jobs must be >= 0")
+		return
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("r%04d", s.nextID)
+	rn := &apiRun{
+		id: id, spec: spec, bcast: newBroadcaster(),
+		stats: &runner.Stats{}, total: len(cells),
+		status: "running", done: make(chan struct{}),
+	}
+	s.runs[id] = rn
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+
+	s.tele.RunsStarted.Inc()
+	s.tele.RunsInflight.Inc()
+	s.wg.Add(1)
+	ctx := telemetry.WithRunID(s.runCtx, id)
+	s.log.InfoContext(ctx, "run accepted",
+		"workload", spec.Workload, "systems", strings.Join(spec.Systems, ","),
+		"jobs", s.jobsFor(spec), "cells", len(cells), "artifacts", spec.Artifacts)
+	go s.execute(ctx, rn, cells)
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(map[string]any{
+		"id":     id,
+		"status": rn.status,
+		"cells":  len(cells),
+		"links": map[string]string{
+			"status":  "/v1/runs/" + id,
+			"events":  "/v1/runs/" + id + "/events",
+			"metrics": "/v1/runs/" + id + "/metrics",
+		},
+	})
+}
+
+// jobsFor resolves a spec's worker count.
+func (s *server) jobsFor(spec runSpec) int {
+	if spec.Jobs > 0 {
+		return spec.Jobs
+	}
+	return s.defaultJobs
+}
+
+// execute runs the cells on a fresh runner with the run's observability
+// attached, then freezes the results. It is the only writer of the
+// run's terminal state.
+func (s *server) execute(ctx context.Context, rn *apiRun, cells []runner.Cell) {
+	defer s.wg.Done()
+	defer s.tele.RunsInflight.Dec()
+	start := time.Now()
+
+	// Artifacts runs execute through a core.Study so the artifact
+	// renderer shares the run's memoized runner; plain runs get a bare
+	// runner. Either way the run owns a fresh memo — no cross-run
+	// state can leak into results.
+	var study *core.Study
+	var r *runner.Runner
+	if rn.spec.Artifacts {
+		study = core.NewParallelStudy(s.jobsFor(rn.spec))
+		r = study.Runner()
+	} else {
+		r = runner.New(s.jobsFor(rn.spec))
+	}
+	col := obs.NewCollector()
+	r.Observe(col)
+	r.AddHooks(s.teleHooks)
+	r.AddHooks(rn.stats)
+	r.AddHooks(sseHooks{b: rn.bcast})
+
+	results := r.Run(ctx, cells)
+
+	var zipBytes []byte
+	var artErr error
+	if study != nil && ctx.Err() == nil {
+		zipBytes, artErr = renderArtifactsZip(study)
+	}
+
+	rep := col.Report()
+	s.tele.AddOrphanFinishes(rep.OrphanFinishes)
+	var metricsBuf bytes.Buffer
+	metricsErr := rep.WriteMetrics(&metricsBuf)
+
+	rn.mu.Lock()
+	rn.status = "done"
+	for _, res := range results {
+		c := cellJSON{
+			Workload: res.Name, System: res.System.String(),
+			Status: "ok", Cached: res.Cached,
+			WallMS: float64(res.Elapsed) / float64(time.Millisecond),
+		}
+		if res.Err != nil {
+			c.Status, c.Error = "error", res.Err.Error()
+			rn.status = "failed"
+		}
+		rn.cells = append(rn.cells, c)
+	}
+	switch {
+	case artErr != nil:
+		rn.status, rn.failure = "failed", "artifacts: "+artErr.Error()
+	case metricsErr != nil:
+		rn.status, rn.failure = "failed", "metrics export: "+metricsErr.Error()
+	default:
+		rn.metricsJSON = metricsBuf.Bytes()
+		rn.artifactsZip = zipBytes
+	}
+	status := rn.status
+	rn.mu.Unlock()
+
+	if status == "done" {
+		s.tele.RunsCompleted.Inc()
+	} else {
+		s.tele.RunsFailed.Inc()
+	}
+	rn.bcast.publish(event{Phase: "run-done", Status: status})
+	rn.bcast.close()
+	close(rn.done)
+	s.log.InfoContext(ctx, "run finished", "status", status,
+		"wall", time.Since(start).Round(time.Millisecond).String(),
+		"computed", rn.stats.Computed(), "cache_hits", rn.stats.CacheHits(),
+		"panics", rn.stats.Panics())
+}
+
+// get looks a run up by the request's {id}.
+func (s *server) get(w http.ResponseWriter, r *http.Request) *apiRun {
+	s.mu.Lock()
+	rn := s.runs[r.PathValue("id")]
+	s.mu.Unlock()
+	if rn == nil {
+		apiError(w, http.StatusNotFound, "no run %q", r.PathValue("id"))
+	}
+	return rn
+}
+
+func (s *server) statusOf(rn *apiRun) statusJSON {
+	rn.mu.Lock()
+	defer rn.mu.Unlock()
+	return statusJSON{
+		ID: rn.id, Status: rn.status, Spec: rn.spec,
+		CellsTotal:    rn.total,
+		CellsStarted:  rn.stats.Started(),
+		CellsFinished: rn.stats.Finished(),
+		CacheHits:     rn.stats.CacheHits(),
+		Panics:        rn.stats.Panics(),
+		Error:         rn.failure,
+		Cells:         rn.cells,
+	}
+}
+
+func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	rn := s.get(w, r)
+	if rn == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.statusOf(rn))
+}
+
+func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	sort.Strings(ids)
+	out := make([]statusJSON, 0, len(ids))
+	for _, id := range ids {
+		s.mu.Lock()
+		rn := s.runs[id]
+		s.mu.Unlock()
+		st := s.statusOf(rn)
+		st.Cells = nil // summaries only
+		out = append(out, st)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"runs": out})
+}
+
+func (s *server) handleRunMetrics(w http.ResponseWriter, r *http.Request) {
+	rn := s.get(w, r)
+	if rn == nil {
+		return
+	}
+	rn.mu.Lock()
+	body := rn.metricsJSON
+	status := rn.status
+	rn.mu.Unlock()
+	if status == "running" {
+		apiError(w, http.StatusConflict, "run %s still executing; wait for done", rn.id)
+		return
+	}
+	if body == nil {
+		apiError(w, http.StatusNotFound, "run %s has no metrics export", rn.id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+func (s *server) handleRunArtifacts(w http.ResponseWriter, r *http.Request) {
+	rn := s.get(w, r)
+	if rn == nil {
+		return
+	}
+	rn.mu.Lock()
+	body := rn.artifactsZip
+	status := rn.status
+	rn.mu.Unlock()
+	if status == "running" {
+		apiError(w, http.StatusConflict, "run %s still executing; wait for done", rn.id)
+		return
+	}
+	if body == nil {
+		apiError(w, http.StatusNotFound, "run %s was not submitted with \"artifacts\": true", rn.id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/zip")
+	w.Write(body)
+}
+
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	rn := s.get(w, r)
+	if rn == nil {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		apiError(w, http.StatusInternalServerError, "response writer cannot stream")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	ctx := r.Context()
+	// Wake the cond wait when the client goes away.
+	go func() {
+		<-ctx.Done()
+		rn.bcast.wake()
+	}()
+
+	idx := 0
+	for {
+		evs, done := rn.bcast.wait(ctx, idx)
+		for _, e := range evs {
+			name := "cell"
+			if e.Phase == "run-done" {
+				name = "run"
+			}
+			data, err := json.Marshal(e)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", name, e.Seq, data)
+		}
+		idx += len(evs)
+		flusher.Flush()
+		if done || ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+// beginDrain flips readiness off and stops accepting new runs.
+func (s *server) beginDrain() {
+	s.draining.Store(true)
+}
+
+// awaitRuns blocks until every accepted run finished, or the timeout
+// elapsed — in which case in-flight runs are cancelled and given a
+// moment to unwind. Returns true on a clean drain.
+func (s *server) awaitRuns(timeout time.Duration) bool {
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(timeout):
+		s.runCancel()
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+		}
+		return false
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"strings"
 
 	"pvcsim/internal/analysis"
+	"pvcsim/internal/telemetry"
 )
 
 func main() {
@@ -43,7 +44,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	asJSON := fs.Bool("json", false, "emit findings as a JSON array instead of file:line text")
 	disable := fs.String("disable", "", "comma-separated analyzer names to skip")
 	list := fs.Bool("list", false, "list analyzers and exit")
+	var logf telemetry.LogFlags
+	logf.Register(fs)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if _, err := logf.Setup(stderr); err != nil {
+		fmt.Fprintln(stderr, "pvclint:", err)
 		return 2
 	}
 	if *list {

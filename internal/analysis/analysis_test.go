@@ -108,6 +108,15 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		// runner and the CLIs may read the wall clock.
 		{dir: "walltime", asPath: "pvcsim/internal/runner/fixture", noWants: true},
 		{dir: "walltime", asPath: "pvcsim/cmd/fixture", noWants: true},
+		// The telemetry layer and the pvcd daemon are wall-clock side
+		// channels by design: latency histograms and run logs measure
+		// the host, never the simulation.
+		{dir: "walltime", asPath: "pvcsim/internal/telemetry/fixture", noWants: true},
+		{dir: "walltime", asPath: "pvcsim/cmd/pvcd/fixture", noWants: true},
+		// The allowlist must win over a sim segment on the same path —
+		// this case fails if "telemetry" is dropped from
+		// wallClockAllowed, keeping the allowlist honest.
+		{dir: "walltime", asPath: "pvcsim/internal/telemetry/sim/fixture", noWants: true},
 		{dir: "maprange", asPath: "pvcsim/internal/report/fixture"},
 		{dir: "seededrand", asPath: "pvcsim/internal/topology/fixture"},
 		{dir: "floateq", asPath: "pvcsim/internal/perfmodel/fixture"},

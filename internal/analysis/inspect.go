@@ -115,9 +115,12 @@ var simulationSegments = []string{
 }
 
 // wallClockAllowed are the segments explicitly allowed to read the wall
-// clock: the runner reports human-facing elapsed times and CLIs may
-// time themselves. cmd wins over a sim segment, so cmd/apps is allowed.
-var wallClockAllowed = []string{"cmd", "runner"}
+// clock: the runner reports human-facing elapsed times, CLIs may time
+// themselves, and the telemetry layer (and the pvcd daemon over it) is
+// a wall-clock side channel by design — its latency histograms and run
+// logs measure the host, never the simulation. cmd wins over a sim
+// segment, so cmd/apps is allowed.
+var wallClockAllowed = []string{"cmd", "runner", "telemetry"}
 
 // isSimulationPackage classifies an import path under the walltime /
 // floateq contract.

@@ -34,8 +34,8 @@ func (c CellReport) Spans() []Span { return c.spans }
 // over K distinct keys the runner computes exactly K and serves N−K
 // from cache whatever the worker count — so they are safe to export.
 type RunReport struct {
-	MemoHits   int64        `json:"memo_hits"`
-	MemoMisses int64        `json:"memo_misses"`
+	MemoHits   int64 `json:"memo_hits"`
+	MemoMisses int64 `json:"memo_misses"`
 	// OrphanFinishes counts Finish calls for keys no worker ever
 	// registered a trace for — each one is a runner bookkeeping bug
 	// (outcome recorded for a cell that never recorded spans).

@@ -25,6 +25,7 @@ type ObsFlags struct {
 	Metrics string
 	Profile string
 	col     *obs.Collector
+	stats   *Stats
 }
 
 // Register declares the flags on the flag set.
@@ -49,9 +50,11 @@ func (f *ObsFlags) Attach(rs ...*Runner) {
 	}
 	if f.col == nil {
 		f.col = obs.NewCollector()
+		f.stats = &Stats{}
 	}
 	for _, r := range rs {
 		r.Observe(f.col)
+		r.AddHooks(f.stats)
 	}
 }
 
@@ -90,7 +93,14 @@ func (f *ObsFlags) Finish(summary io.Writer) error {
 		}
 	}
 	if summary != nil {
-		return rep.Summary(summary)
+		if err := rep.Summary(summary); err != nil {
+			return err
+		}
+		// The lifecycle-hook tallies: wall-clock facts only, printed
+		// after the simulated summary so they can never be confused
+		// with results.
+		fmt.Fprintf(summary, "runner: %d computed, %d cache hit(s), %d panic(s) recovered\n",
+			f.stats.Computed(), f.stats.CacheHits(), f.stats.Panics())
 	}
 	return nil
 }

@@ -8,6 +8,7 @@ package runner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -77,9 +78,10 @@ func (e *PanicError) Error() string {
 type Runner struct {
 	jobs int
 
-	mu   sync.Mutex
-	memo map[key]*entry
-	col  *obs.Collector
+	mu    sync.Mutex
+	memo  map[key]*entry
+	col   *obs.Collector
+	hooks []Hooks
 }
 
 // New builds a runner with the given worker count; jobs <= 0 selects
@@ -110,11 +112,14 @@ func (r *Runner) RunOne(ctx context.Context, sys topology.System, w workload.Wor
 	return res.Result, res.Err
 }
 
-// cell runs one cell through the memo cache.
+// cell runs one cell through the memo cache. Lifecycle hooks fire in
+// pairs: every cell that starts also finishes, whatever path it takes.
 func (r *Runner) cell(ctx context.Context, sys topology.System, w workload.Workload) CellResult {
 	out := CellResult{System: sys, Name: w.Name()}
+	r.hookStart(sys.String(), w.Name())
 	if !workload.Supports(w, sys) {
 		out.Err = fmt.Errorf("runner: workload %q does not run on %s (supported: %v)", w.Name(), sys, w.Systems())
+		r.hookFinish(sys.String(), w.Name(), 0, false, out.Err)
 		return out
 	}
 	k := key{sys: sys, name: w.Name(), params: workload.ParamsOf(w)}
@@ -138,6 +143,7 @@ func (r *Runner) cell(ctx context.Context, sys topology.System, w workload.Workl
 					// the new first caller) unless we are cancelled too.
 					if err := ctx.Err(); err != nil {
 						out.Err = err
+						r.hookFinish(sys.String(), w.Name(), 0, false, out.Err)
 						return out
 					}
 					continue
@@ -146,9 +152,11 @@ func (r *Runner) cell(ctx context.Context, sys topology.System, w workload.Workl
 					r.col.MemoHit()
 				}
 				out.Result, out.Err, out.Elapsed, out.Cached = e.res, e.err, e.elapsed, true
+				r.hookCacheHit(sys.String(), w.Name())
 			case <-ctx.Done():
 				out.Err = ctx.Err()
 			}
+			r.hookFinish(sys.String(), w.Name(), out.Elapsed, out.Cached, out.Err)
 			return out
 		}
 
@@ -177,7 +185,12 @@ func (r *Runner) cell(ctx context.Context, sys topology.System, w workload.Workl
 			r.col.MemoMiss()
 			r.col.Finish(obs.Key{Workload: w.Name(), System: sys.String(), Params: k.params}, e.elapsed, e.err)
 		}
+		var pe *PanicError
+		if errors.As(e.err, &pe) {
+			r.hookPanic(sys.String(), w.Name(), e.err)
+		}
 		out.Result, out.Err, out.Elapsed = e.res, e.err, e.elapsed
+		r.hookFinish(sys.String(), w.Name(), out.Elapsed, false, out.Err)
 		return out
 	}
 }
@@ -213,6 +226,13 @@ func (r *Runner) compute(ctx context.Context, sys topology.System, w workload.Wo
 // input order regardless of completion order.
 func (r *Runner) Run(ctx context.Context, cells []Cell) []CellResult {
 	results := make([]CellResult, len(cells))
+	// Queue the whole batch up front so hooks see depth jump to N and
+	// drain as workers pick cells up. Cells backfilled with a
+	// cancellation error below were queued but never start; consumers
+	// deriving a depth gauge must tolerate that on cancelled runs.
+	for _, c := range cells {
+		r.hookQueued(c.System.String(), c.Workload.Name())
+	}
 	workers := r.jobs
 	if workers > len(cells) {
 		workers = len(cells)

@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"pvcsim/internal/obs"
+	"pvcsim/internal/prof"
+	"pvcsim/internal/runner"
+	"pvcsim/internal/topology"
+	"pvcsim/internal/workload"
+)
+
+// exports renders the three simulated exports (metrics JSON, Chrome
+// trace, bound profile) of one observed run of the given cells.
+func exports(t *testing.T, jobs int, withTelemetry bool) (metrics, trace, profile []byte) {
+	t.Helper()
+	reg := workload.DefaultRegistry()
+	var cells []runner.Cell
+	// A representative cross-section: a fabric-heavy mini-app scaling
+	// run plus microbenchmark cells, duplicated to exercise the memo.
+	for _, name := range []string{"clover-scaling", "p2p", "clover-scaling"} {
+		w, ok := reg.Get(name)
+		if !ok {
+			t.Fatalf("workload %s not registered", name)
+		}
+		for _, sys := range w.Systems() {
+			cells = append(cells, runner.Cell{System: sys, Workload: w})
+		}
+	}
+	r := runner.New(jobs)
+	col := obs.NewCollector()
+	r.Observe(col)
+	if withTelemetry {
+		tele := New()
+		r.AddHooks(tele.Hooks())
+		r.AddHooks(&runner.Stats{})
+	}
+	for _, res := range r.Run(context.Background(), cells) {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	rep := col.Report()
+	var m, tr, p bytes.Buffer
+	if err := rep.WriteMetrics(&m); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteChromeTrace(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := prof.Build(rep).WriteJSON(&p); err != nil {
+		t.Fatal(err)
+	}
+	return m.Bytes(), tr.Bytes(), p.Bytes()
+}
+
+// firstDiff locates the first differing byte for a readable failure.
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// TestHooksAreSideChannel is the telemetry-is-side-channel invariant:
+// every simulated export is byte-identical with lifecycle hooks
+// attached or not, and across worker counts. If a hook implementation
+// ever reaches into the simulation, this fails.
+func TestHooksAreSideChannel(t *testing.T) {
+	baseM, baseT, baseP := exports(t, 1, false)
+	for _, tc := range []struct {
+		name string
+		jobs int
+		tele bool
+	}{
+		{"telemetry-jobs1", 1, true},
+		{"telemetry-jobs2", 2, true},
+		{"telemetry-jobs4", 4, true},
+		{"plain-jobs4", 4, false},
+	} {
+		m, tr, p := exports(t, tc.jobs, tc.tele)
+		for _, cmp := range []struct {
+			label     string
+			got, want []byte
+		}{
+			{"metrics", m, baseM},
+			{"trace", tr, baseT},
+			{"profile", p, baseP},
+		} {
+			if !bytes.Equal(cmp.got, cmp.want) {
+				i := firstDiff(cmp.got, cmp.want)
+				t.Errorf("%s: %s export differs from plain serial run at byte %d (got %d bytes, want %d)",
+					tc.name, cmp.label, i, len(cmp.got), len(cmp.want))
+			}
+		}
+	}
+}
+
+// TestHooksSeeDeterministicCounts: for a fixed cell set the hook
+// tallies themselves are deterministic across worker counts — the memo
+// computes each distinct key exactly once however workers race.
+func TestHooksSeeDeterministicCounts(t *testing.T) {
+	reg := workload.DefaultRegistry()
+	w, ok := reg.Get("clover-scaling")
+	if !ok {
+		t.Fatal("clover-scaling not registered")
+	}
+	counts := func(jobs int) (computed, hits int64) {
+		r := runner.New(jobs)
+		stats := &runner.Stats{}
+		r.AddHooks(stats)
+		var cells []runner.Cell
+		for i := 0; i < 3; i++ {
+			cells = append(cells, runner.Cell{System: topology.Aurora, Workload: w})
+		}
+		for _, res := range r.Run(context.Background(), cells) {
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+		}
+		return stats.Computed(), stats.CacheHits()
+	}
+	c1, h1 := counts(1)
+	if c1 != 1 || h1 != 2 {
+		t.Fatalf("serial: computed/hits = %d/%d, want 1/2", c1, h1)
+	}
+	for _, jobs := range []int{2, 4} {
+		c, h := counts(jobs)
+		if c != c1 || h != h1 {
+			t.Errorf("jobs=%d: computed/hits = %d/%d, want %d/%d", jobs, c, h, c1, h1)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+// TestRunIDThreading checks that a context-carried run ID lands on
+// every record, in both encodings, including through WithAttrs/
+// WithGroup derivatives.
+func TestRunIDThreading(t *testing.T) {
+	for _, format := range []string{"text", "json"} {
+		var buf bytes.Buffer
+		f := LogFlags{Format: format, Level: "info"}
+		h, err := f.Handler(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := WithRunID(context.Background(), "r0042")
+		logger := slog.New(h)
+		logger.InfoContext(ctx, "run started", "workload", "dgemm")
+		logger.With("component", "server").InfoContext(ctx, "second")
+		out := buf.String()
+		if strings.Count(out, "r0042") != 2 {
+			t.Errorf("%s: run_id not on every record:\n%s", format, out)
+		}
+		if format == "json" {
+			for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+				var rec map[string]any
+				if err := json.Unmarshal([]byte(line), &rec); err != nil {
+					t.Fatalf("json log line is not JSON: %v\n%s", err, line)
+				}
+				if rec["run_id"] != "r0042" {
+					t.Errorf("json record missing run_id: %s", line)
+				}
+			}
+		}
+	}
+}
+
+// TestLogFlagsValidation rejects unknown formats and levels.
+func TestLogFlagsValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := (&LogFlags{Format: "yaml"}).Handler(&buf); err == nil {
+		t.Error("format yaml accepted")
+	}
+	if _, err := (&LogFlags{Format: "text", Level: "loud"}).Handler(&buf); err == nil {
+		t.Error("level loud accepted")
+	}
+	if _, err := (&LogFlags{}).Handler(&buf); err != nil {
+		t.Errorf("zero-value flags rejected: %v", err)
+	}
+}
+
+// TestLogFlagsRegister parses the flags off a flag set.
+func TestLogFlagsRegister(t *testing.T) {
+	var f LogFlags
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f.Register(fs)
+	if err := fs.Parse([]string{"-log-format", "json", "-log-level", "debug"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Format != "json" || f.Level != "debug" {
+		t.Errorf("parsed %q/%q, want json/debug", f.Format, f.Level)
+	}
+}
+
+// TestRunIDFromAbsent returns "" without a run ID in context.
+func TestRunIDFromAbsent(t *testing.T) {
+	if id := RunIDFrom(context.Background()); id != "" {
+		t.Errorf("RunIDFrom(empty ctx) = %q, want \"\"", id)
+	}
+}

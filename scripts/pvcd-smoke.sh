@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Smoke-test the pvcd daemon end to end, the way an operator would meet
+# it: build, boot, wait for readiness, run a workload through the HTTP
+# API, scrape /metrics and prove the page strict-parses as Prometheus
+# exposition text with the run counters present, then drain with
+# SIGTERM and require a clean, prompt exit. CI runs this as its own job
+# (see .github/workflows/ci.yml, "smoke").
+set -euo pipefail
+
+ADDR="${PVCD_ADDR:-127.0.0.1:8329}"
+WORKDIR="$(mktemp -d)"
+PVCD_PID=""
+cleanup() {
+  [ -n "$PVCD_PID" ] && kill -9 "$PVCD_PID" 2>/dev/null
+  rm -rf "$WORKDIR"
+  return 0
+}
+trap cleanup EXIT
+
+# json_field FILE KEY -> first string value of KEY (no jq dependency).
+json_field() {
+  grep -o "\"$2\":\"[^\"]*\"" "$1" | head -n 1 | cut -d'"' -f4
+}
+
+echo "== build"
+go build -o "$WORKDIR/pvcd" ./cmd/pvcd
+
+echo "== boot pvcd on $ADDR"
+"$WORKDIR/pvcd" -addr "$ADDR" -jobs 2 -log-format json \
+  >"$WORKDIR/pvcd.log" 2>&1 &
+PVCD_PID=$!
+
+echo "== wait for readiness"
+ready=""
+for _ in $(seq 1 100); do
+  if curl -fsS "http://$ADDR/readyz" >/dev/null 2>&1; then
+    ready=1
+    break
+  fi
+  if ! kill -0 "$PVCD_PID" 2>/dev/null; then
+    echo "pvcd died during startup:" >&2
+    cat "$WORKDIR/pvcd.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+[ -n "$ready" ] || { echo "pvcd not ready within 10s" >&2; exit 1; }
+curl -fsS "http://$ADDR/healthz" >/dev/null
+
+echo "== submit a run over the API"
+curl -fsS -X POST "http://$ADDR/v1/runs" \
+  -H 'Content-Type: application/json' \
+  -d '{"workload":"clover-scaling","jobs":2}' >"$WORKDIR/submit.json"
+RUN_ID="$(json_field "$WORKDIR/submit.json" id)"
+[ -n "$RUN_ID" ] || { echo "no run id in submit response" >&2; cat "$WORKDIR/submit.json" >&2; exit 1; }
+echo "   accepted as $RUN_ID"
+
+echo "== poll until the run completes"
+STATUS=running
+for _ in $(seq 1 300); do
+  curl -fsS "http://$ADDR/v1/runs/$RUN_ID" >"$WORKDIR/status.json"
+  STATUS="$(json_field "$WORKDIR/status.json" status)"
+  [ "$STATUS" = running ] || break
+  sleep 0.1
+done
+if [ "$STATUS" != done ]; then
+  echo "run $RUN_ID ended as '$STATUS':" >&2
+  cat "$WORKDIR/status.json" "$WORKDIR/pvcd.log" >&2
+  exit 1
+fi
+
+echo "== the run's simulated metrics export is served"
+curl -fsS "http://$ADDR/v1/runs/$RUN_ID/metrics" >"$WORKDIR/run-metrics.json"
+grep -q '"memo_misses"' "$WORKDIR/run-metrics.json"
+
+echo "== scrape /metrics and strict-parse it"
+curl -fsS "http://$ADDR/metrics" >"$WORKDIR/metrics.txt"
+"$WORKDIR/pvcd" -validate-metrics "$WORKDIR/metrics.txt"
+grep -q '^pvcd_runs_started_total 1$' "$WORKDIR/metrics.txt"
+grep -q '^pvcd_runs_completed_total 1$' "$WORKDIR/metrics.txt"
+grep -q '^pvcd_runs_failed_total 0$' "$WORKDIR/metrics.txt"
+
+echo "== graceful shutdown: SIGTERM must exit 0 within 10s"
+kill -TERM "$PVCD_PID"
+exited=""
+for _ in $(seq 1 100); do
+  if ! kill -0 "$PVCD_PID" 2>/dev/null; then
+    exited=1
+    break
+  fi
+  sleep 0.1
+done
+if [ -z "$exited" ]; then
+  echo "pvcd still running 10s after SIGTERM:" >&2
+  cat "$WORKDIR/pvcd.log" >&2
+  exit 1
+fi
+EXIT=0
+wait "$PVCD_PID" || EXIT=$?
+if [ "$EXIT" -ne 0 ]; then
+  echo "pvcd exited $EXIT after SIGTERM:" >&2
+  cat "$WORKDIR/pvcd.log" >&2
+  exit 1
+fi
+PVCD_PID=""
+
+echo "ok: pvcd smoke passed"
