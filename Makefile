@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet build lint test race bench artifacts trace-demo profile-demo bench-record bench-check serve-demo smoke clean
+.PHONY: check vet build lint test race bench artifacts trace-demo profile-demo sweep-demo bench-record bench-check serve-demo smoke clean
 
 check: vet build lint race
 
@@ -50,6 +50,18 @@ profile-demo: build
 	$(GO) run ./cmd/pvcprof flame profile-demo.json > profile-demo.folded
 	@echo "wrote profile-demo.json and profile-demo.folded (feed to flamegraph.pl)"
 
+# Run a small strong-scaling sweep (the clover-strong family restricted
+# to 2-node Aurora clusters) end to end: expand, simulate, export the
+# profile, and render the bound-residency report — which must show time
+# attributed to the inter-node fabric (fabric.remote-node).
+sweep-demo: build
+	$(GO) run ./cmd/pvcbench -sweep clover-strong -where system=aurora,nodes=2 \
+		-profile sweep-demo.json
+	$(GO) run ./cmd/pvcprof report sweep-demo.json
+	@$(GO) run ./cmd/pvcprof report sweep-demo.json | grep -q 'fabric.remote-node' \
+		&& echo "sweep-demo: fabric.remote-node residency present" \
+		|| { echo "sweep-demo: fabric.remote-node missing from profile report"; exit 1; }
+
 # Append today's bench record (the six Table V/VI FOM workloads) to
 # BENCH_<date>.json — the simulator's own performance trajectory.
 bench-record: build
@@ -78,4 +90,4 @@ smoke: build
 	./scripts/pvcd-smoke.sh
 
 clean:
-	rm -rf artifacts trace-demo.json profile-demo.json profile-demo.folded bench-current.json
+	rm -rf artifacts trace-demo.json profile-demo.json profile-demo.folded sweep-demo.json bench-current.json

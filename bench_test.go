@@ -24,6 +24,7 @@ import (
 	"pvcsim/internal/paper"
 	"pvcsim/internal/perfmodel"
 	"pvcsim/internal/runner"
+	"pvcsim/internal/sweep"
 	"pvcsim/internal/topology"
 	"pvcsim/internal/units"
 	"pvcsim/internal/workload"
@@ -48,7 +49,7 @@ func benchCells(b *testing.B, jobs int, cells []runner.Cell) {
 // the given systems.
 func registryCells(b *testing.B, systems []topology.System, names ...string) []runner.Cell {
 	b.Helper()
-	reg := workload.DefaultRegistry()
+	reg := sweep.DefaultRegistry()
 	var cells []runner.Cell
 	for _, name := range names {
 		w, ok := reg.Get(name)
@@ -143,15 +144,15 @@ func BenchmarkTableVI_HACC(b *testing.B)       { benchTableVI(b, "hacc") }
 // memo-cache hit path. ---
 
 func BenchmarkRegistry_AllSerial(b *testing.B) {
-	benchCells(b, 1, runner.Cells(workload.DefaultRegistry()))
+	benchCells(b, 1, runner.Cells(sweep.DefaultRegistry()))
 }
 
 func BenchmarkRegistry_AllParallel(b *testing.B) {
-	benchCells(b, 0, runner.Cells(workload.DefaultRegistry()))
+	benchCells(b, 0, runner.Cells(sweep.DefaultRegistry()))
 }
 
 func BenchmarkRegistry_CacheHit(b *testing.B) {
-	reg := workload.DefaultRegistry()
+	reg := sweep.DefaultRegistry()
 	w, ok := reg.Get("dgemm")
 	if !ok {
 		b.Fatal("dgemm not registered")

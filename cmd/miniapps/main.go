@@ -56,7 +56,7 @@ func main() {
 		}
 	}()
 	if *list {
-		if err := runner.List(os.Stdout, study.Registry()); err != nil {
+		if _, err := runner.List(os.Stdout, study.Registry(), ""); err != nil {
 			log.Fatal(err)
 		}
 		return

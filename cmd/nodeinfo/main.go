@@ -21,10 +21,10 @@ import (
 	"pvcsim/internal/hw"
 	"pvcsim/internal/power"
 	"pvcsim/internal/runner"
+	"pvcsim/internal/sweep"
 	"pvcsim/internal/telemetry"
 	"pvcsim/internal/topology"
 	"pvcsim/internal/units"
-	"pvcsim/internal/workload"
 )
 
 func main() {
@@ -57,7 +57,10 @@ func main() {
 		return
 	}
 
-	systems := topology.AllSystems()
+	// nodeinfo is a what-if tool, so it describes the extended system
+	// set (paper systems plus Frontier); the paper tables stay on
+	// AllSystems.
+	systems := topology.AllSystemsExtended()
 	if *system != "" {
 		sys, err := topology.ParseSystem(*system)
 		if err != nil {
@@ -83,7 +86,7 @@ func main() {
 // observed runner, then writes the requested trace/metrics/profile
 // files plus the per-cell summary.
 func probe(obsf *runner.ObsFlags, jobs int, systems []topology.System) error {
-	reg := workload.DefaultRegistry()
+	reg := sweep.DefaultRegistry()
 	w, ok := reg.Get("clover-scaling")
 	if !ok {
 		return fmt.Errorf("fabric probe workload clover-scaling not registered")

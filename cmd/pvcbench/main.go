@@ -6,19 +6,28 @@
 // Usage:
 //
 //	pvcbench [-table N] [-system name] [-csv] [-experiments] [-jobs N]
-//	pvcbench -list
+//	pvcbench -list [-filter pattern]
 //	pvcbench -workload NAME [-system name] [-jobs N] [-csv]
+//	pvcbench -sweep FAMILY [-where k=v,k2=v2] [-jobs N] [-csv]
 //	pvcbench [-trace out.json] [-metrics out.json] [-profile out.json] ...
 //
 // With no flags it prints Tables I–IV for both PVC systems. Every
 // experiment of the study is registered in the workload registry;
-// -list enumerates them and -workload runs one by name. -jobs fans
+// -list enumerates them (optionally restricted by -filter, a glob or
+// name prefix) and -workload runs one by name. -sweep expands one
+// scenario family from internal/sweep — optionally restricted to the
+// axis values of -where — and runs every resulting cell. -jobs fans
 // independent (system × workload) cells across a worker pool with
 // bit-identical output. -trace records every computed cell's simulated
 // timeline as Chrome trace-event JSON, -metrics dumps the per-cell
 // counters, and -profile writes the bound-attribution profile (inspect
 // with pvcprof report/flame); all three use simulated quantities only
 // and are byte-identical across -jobs settings.
+//
+// Exit codes: 0 on success, 1 on any error (bad flags, unknown
+// workload or sweep family, simulation failure), and 3 when -list
+// -filter matched no registered workload — distinct so scripts can
+// tell "nothing matched" from "something broke".
 package main
 
 import (
@@ -27,11 +36,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"pvcsim/internal/core"
 	"pvcsim/internal/microbench"
 	"pvcsim/internal/report"
 	"pvcsim/internal/runner"
+	"pvcsim/internal/sweep"
 	"pvcsim/internal/telemetry"
 	"pvcsim/internal/topology"
 	"pvcsim/internal/units"
@@ -46,12 +57,15 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	experiments := flag.Bool("experiments", false, "emit the EXPERIMENTS.md fidelity report and exit")
 	skipCheck := flag.Bool("skip-selfcheck", false, "skip the host kernel self-checks")
-	sweep := flag.Bool("sweep", false, "emit the P2P message-size sweep (latency-bandwidth curves) and exit")
+	p2pCurves := flag.Bool("p2p-curves", false, "emit the P2P message-size sweep (latency-bandwidth curves) and exit")
 	frontier := flag.Bool("frontier", false, "emit the Frontier future-work outlook and exit")
 	artifacts := flag.String("artifacts", "", "write the complete artifact (all tables, figures, EXPERIMENTS.md) into this directory and exit")
 	energy := flag.Bool("energy", false, "emit the energy-to-solution comparison and exit")
 	list := flag.Bool("list", false, "enumerate the registered workloads and exit")
+	filter := flag.String("filter", "", "restrict -list to names matching this glob `pattern` (or name prefix); exit code 3 when nothing matches")
 	workloadName := flag.String("workload", "", "run one registered workload by name and exit")
+	sweepName := flag.String("sweep", "", "expand one scenario `family` (see internal/sweep) and run every cell; combine with -where")
+	whereClause := flag.String("where", "", "restrict -sweep to axis values, e.g. \"system=aurora,nodes=4\"")
 	jobs := flag.Int("jobs", 1, "parallel simulation workers; 0 = all CPUs")
 	var obsf runner.ObsFlags
 	obsf.Register(flag.CommandLine)
@@ -70,8 +84,13 @@ func main() {
 		}
 	}()
 	if *list {
-		if err := runner.List(os.Stdout, study.Registry()); err != nil {
+		n, err := runner.List(os.Stdout, study.Registry(), *filter)
+		if err != nil {
 			log.Fatal(err)
+		}
+		if n == 0 {
+			fmt.Fprintf(os.Stderr, "pvcbench: -filter %q matched no registered workload\n", *filter)
+			os.Exit(3)
 		}
 		return
 	}
@@ -93,6 +112,15 @@ func main() {
 		}
 		return
 	}
+	if *sweepName != "" {
+		if err := runSweep(study, *sweepName, *whereClause, *csv); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *whereClause != "" {
+		log.Fatal("-where only restricts -sweep; pass -sweep FAMILY too")
+	}
 	if *experiments {
 		if err := study.WriteExperimentsMarkdown(os.Stdout); err != nil {
 			log.Fatal(err)
@@ -112,8 +140,8 @@ func main() {
 		fmt.Printf("artifact written to %s\n", *artifacts)
 		return
 	}
-	if *sweep {
-		if err := printSweep(study); err != nil {
+	if *p2pCurves {
+		if err := printP2PCurves(study); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -185,9 +213,51 @@ func fetch(study *core.Study, name string, sys topology.System) (workload.Result
 	return study.Runner().RunOne(context.Background(), sys, w)
 }
 
-// printSweep renders the Aurora latency-bandwidth curves for the three
-// D2D path kinds, the extension of Table III to small messages.
-func printSweep(study *core.Study) error {
+// runSweep expands one scenario family (optionally restricted by a
+// -where clause) and runs every resulting cell on its systems through
+// the study's memoizing runner, rendering one combined results table.
+func runSweep(study *core.Study, name, whereStr string, csv bool) error {
+	f, ok := sweep.FamilyByName(name)
+	if !ok {
+		var names []string
+		for _, fam := range sweep.DefaultFamilies() {
+			names = append(names, fam.Name)
+		}
+		return fmt.Errorf("unknown sweep family %q (have: %s)", name, strings.Join(names, ", "))
+	}
+	where, err := sweep.ParseWhere(whereStr)
+	if err != nil {
+		return err
+	}
+	cells, err := f.Expand(where)
+	if err != nil {
+		return err
+	}
+	var rcells []runner.Cell
+	for _, w := range cells {
+		for _, sys := range w.Systems() {
+			rcells = append(rcells, runner.Cell{System: sys, Workload: w})
+		}
+	}
+	t := report.NewTable(fmt.Sprintf("Sweep %s: %s (%d cells)", f.Name, f.Desc, len(cells)),
+		"Cell", "System", "Metric", "Scope", "Value", "Unit", "Bound resource")
+	for _, res := range study.Runner().Run(context.Background(), rcells) {
+		if res.Err != nil {
+			return res.Err
+		}
+		for _, v := range res.Result.Values {
+			t.AddRow(res.Name, res.System.String(), v.Metric, v.Scope, report.Num(v.Value), v.Unit, v.Bound)
+		}
+	}
+	if csv {
+		return t.CSV(os.Stdout)
+	}
+	return t.Render(os.Stdout)
+}
+
+// printP2PCurves renders the Aurora latency-bandwidth curves for the
+// three D2D path kinds, the extension of Table III to small messages.
+func printP2PCurves(study *core.Study) error {
 	res, err := fetch(study, "p2p-sweep", topology.Aurora)
 	if err != nil {
 		return err

@@ -9,6 +9,7 @@
 //
 // API:
 //
+//	GET  /v1/workloads             list every registry cell the sweep families expand to
 //	POST /v1/runs                  submit {"workload","systems","jobs","artifacts"}
 //	GET  /v1/runs                  list run summaries
 //	GET  /v1/runs/{id}             status, live progress counters, final cells

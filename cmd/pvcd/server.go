@@ -16,6 +16,7 @@ import (
 	"pvcsim/internal/core"
 	"pvcsim/internal/obs"
 	"pvcsim/internal/runner"
+	"pvcsim/internal/sweep"
 	"pvcsim/internal/telemetry"
 	"pvcsim/internal/topology"
 	"pvcsim/internal/workload"
@@ -207,7 +208,7 @@ func newServer(log *slog.Logger, defaultJobs int) *server {
 		log:         log,
 		tele:        tele,
 		teleHooks:   tele.Hooks(),
-		reg:         workload.DefaultRegistry(),
+		reg:         sweep.DefaultRegistry(),
 		defaultJobs: defaultJobs,
 		runCtx:      ctx,
 		runCancel:   cancel,
@@ -229,6 +230,7 @@ func (s *server) handler() http.Handler {
 	handle("GET /healthz", "healthz", s.handleHealthz)
 	handle("GET /readyz", "readyz", s.handleReadyz)
 	handle("GET /metrics", "metrics", s.handleMetrics)
+	handle("GET /v1/workloads", "workloads_list", s.handleWorkloads)
 	handle("POST /v1/runs", "runs_submit", s.handleSubmit)
 	handle("GET /v1/runs", "runs_list", s.handleList)
 	handle("GET /v1/runs/{id}", "run_status", s.handleStatus)
@@ -248,6 +250,34 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fmt.Fprintln(w, "ready")
+}
+
+// apiWorkload is one row of the workload listing: a registry cell as
+// expanded from the sweep families (registration order is expansion
+// order, so the listing is deterministic).
+type apiWorkload struct {
+	Name        string   `json:"name"`
+	Systems     []string `json:"systems"`
+	Params      string   `json:"params,omitempty"`
+	Description string   `json:"description,omitempty"`
+}
+
+func (s *server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	out := make([]apiWorkload, 0, s.reg.Len())
+	for _, wl := range s.reg.Workloads() {
+		systems := make([]string, 0, len(wl.Systems()))
+		for _, sys := range wl.Systems() {
+			systems = append(systems, sys.String())
+		}
+		out = append(out, apiWorkload{
+			Name:        wl.Name(),
+			Systems:     systems,
+			Params:      workload.ParamsOf(wl),
+			Description: workload.DescriptionOf(wl),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -398,3 +398,38 @@ func TestValidateMetricsFile(t *testing.T) {
 		t.Error("page without run counters accepted")
 	}
 }
+
+// TestWorkloadsListing checks GET /v1/workloads exposes the expanded
+// sweep cells: the legacy flat names plus the parameterized cluster
+// cells, in registry (expansion) order.
+func TestWorkloadsListing(t *testing.T) {
+	_, ts := testServer(t, 1)
+	resp, err := http.Get(ts.URL + "/v1/workloads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var rows []apiWorkload
+	if err := json.NewDecoder(resp.Body).Decode(&rows); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]apiWorkload{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	for _, want := range []string{"triad", "cloverleaf", "clover-strong/system=aurora,nodes=2,placement=packed", "allreduce/nodes=4,prec=fp32,algo=ring"} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("listing is missing %q", want)
+		}
+	}
+	if len(rows) < 27+30 {
+		t.Errorf("listing has %d rows, want at least 57 (25 paper cells + lats + energy + 30 cluster cells)", len(rows))
+	}
+	cs := byName["clover-strong/system=frontier,nodes=4,placement=spread"]
+	if len(cs.Systems) != 1 || cs.Systems[0] != "Frontier" {
+		t.Errorf("clover-strong frontier cell lists systems %v, want [Frontier]", cs.Systems)
+	}
+}

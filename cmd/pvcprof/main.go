@@ -40,8 +40,8 @@ import (
 
 	"pvcsim/internal/prof"
 	"pvcsim/internal/runner"
+	"pvcsim/internal/sweep"
 	"pvcsim/internal/telemetry"
-	"pvcsim/internal/workload"
 )
 
 func main() {
@@ -232,7 +232,7 @@ func runBench(args []string, stdout, stderr io.Writer) int {
 		*out = "BENCH_" + *date + ".json"
 	}
 
-	reg := workload.DefaultRegistry()
+	reg := sweep.DefaultRegistry()
 	r := runner.New(*jobs)
 	var cells []runner.Cell
 	for _, name := range benchWorkloads {

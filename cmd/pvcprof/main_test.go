@@ -12,7 +12,7 @@ import (
 	"pvcsim/internal/obs"
 	"pvcsim/internal/prof"
 	"pvcsim/internal/runner"
-	"pvcsim/internal/workload"
+	"pvcsim/internal/sweep"
 )
 
 // writeProbeProfile produces a real -profile export: one richly
@@ -20,7 +20,7 @@ import (
 // same way the shared -profile flag does it.
 func writeProbeProfile(t *testing.T, path string) {
 	t.Helper()
-	w, ok := workload.DefaultRegistry().Get("clover-scaling")
+	w, ok := sweep.DefaultRegistry().Get("clover-scaling")
 	if !ok {
 		t.Fatal("clover-scaling not registered")
 	}

@@ -118,6 +118,9 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		// wallClockAllowed, keeping the allowlist honest.
 		{dir: "walltime", asPath: "pvcsim/internal/telemetry/sim/fixture", noWants: true},
 		{dir: "maprange", asPath: "pvcsim/internal/report/fixture"},
+		// The sweep engine is simulation territory: expansion must be
+		// wall-clock-free and must never let map order pick cell order.
+		{dir: "sweepdet", asPath: "pvcsim/internal/sweep/fixture"},
 		{dir: "seededrand", asPath: "pvcsim/internal/topology/fixture"},
 		{dir: "floateq", asPath: "pvcsim/internal/perfmodel/fixture"},
 		// floateq is scoped to model code: the identical sources under

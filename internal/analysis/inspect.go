@@ -112,6 +112,7 @@ func pathHasSegment(path string, names ...string) bool {
 var simulationSegments = []string{
 	"gpusim", "perfmodel", "mem", "fabric", "power",
 	"kernels", "miniapps", "apps", "microbench", "sched", "sim",
+	"mpirt", "sweep",
 }
 
 // wallClockAllowed are the segments explicitly allowed to read the wall

@@ -1,0 +1,62 @@
+// Fixture for the sweep-engine determinism contract: loaded under
+// pvcsim/internal/sweep/fixture it must trip BOTH walltime (the sweep
+// layer builds simulation cells, so it lives on simulated time only)
+// and maprange (cell expansion order is part of the artifact contract,
+// so a map's iteration order must never pick it).
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// badStamp models the classic nondeterminism bug: stamping expanded
+// cells with the host clock makes two expansions of the same family
+// differ byte-for-byte.
+func badStamp() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock inside simulation package`
+}
+
+// badThrottle models pacing expansion with a host sleep.
+func badThrottle() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock inside simulation package`
+}
+
+// badExpand ranges over an axis map and appends cell names in map
+// order: the registry would list cells differently on every run.
+func badExpand(axes map[string][]string) []string {
+	var cells []string
+	for name, values := range axes {
+		for _, v := range values {
+			cells = append(cells, name+"="+v) // want `append to "cells" inside a range over a map`
+		}
+	}
+	return cells
+}
+
+// badRender writes the expansion straight from the map.
+func badRender(w io.Writer, axes map[string]string) {
+	for k, v := range axes {
+		fmt.Fprintf(w, "%s=%s\n", k, v) // want `Fprintf inside a range over a map`
+	}
+}
+
+// goodExpand is the contract the real Family.Expand keeps: axis order
+// is definition order (a slice), and any map-collected values are
+// sorted before they name cells.
+func goodExpand(axes map[string][]string) []string {
+	var names []string
+	for name := range axes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var cells []string
+	for _, name := range names {
+		for _, v := range axes[name] {
+			cells = append(cells, name+"="+v)
+		}
+	}
+	return cells
+}

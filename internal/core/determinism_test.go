@@ -16,7 +16,7 @@ import (
 	"pvcsim/internal/obs"
 	"pvcsim/internal/prof"
 	"pvcsim/internal/runner"
-	"pvcsim/internal/workload"
+	"pvcsim/internal/sweep"
 )
 
 // readArtifacts loads every artifact file of a directory keyed by name.
@@ -107,7 +107,7 @@ func TestArtifactsDeterministicAcrossJobs(t *testing.T) {
 // serial and parallel — and checks every cell's Result is identical,
 // covering workloads (sweeps, energy) that no table consumes.
 func TestRegistryDeterministicAcrossRuns(t *testing.T) {
-	reg := workload.DefaultRegistry()
+	reg := sweep.DefaultRegistry()
 	ctx := context.Background()
 	serial := runner.New(1).RunAll(ctx, reg)
 	parallel := runner.New(runtime.NumCPU()).RunAll(ctx, reg)
@@ -135,7 +135,7 @@ func TestTraceDeterministicAcrossJobs(t *testing.T) {
 		col := obs.NewCollector()
 		r := runner.New(jobs)
 		r.Observe(col)
-		for _, res := range r.RunAll(context.Background(), workload.DefaultRegistry()) {
+		for _, res := range r.RunAll(context.Background(), sweep.DefaultRegistry()) {
 			if res.Err != nil {
 				t.Fatalf("jobs=%d %s/%s: %v", jobs, res.Name, res.System, res.Err)
 			}
@@ -183,7 +183,7 @@ func TestProfileResidencyOverRegistry(t *testing.T) {
 	col := obs.NewCollector()
 	r := runner.New(runtime.NumCPU())
 	r.Observe(col)
-	for _, res := range r.RunAll(context.Background(), workload.DefaultRegistry()) {
+	for _, res := range r.RunAll(context.Background(), sweep.DefaultRegistry()) {
 		if res.Err != nil {
 			t.Fatalf("%s/%s: %v", res.Name, res.System, res.Err)
 		}

@@ -33,6 +33,13 @@ type Machine struct {
 	queues    map[topology.StackID]*sim.Resource
 	rec       *Recorder
 	obs       obs.Recorder
+
+	// prefix namespaces constraint/queue names and gpuBase offsets the
+	// recorded GPU index when the machine is one node of a cluster;
+	// both are zero for a standalone node, keeping its output
+	// byte-identical to the pre-cluster model.
+	prefix  string
+	gpuBase int
 }
 
 // Observe attaches an observability recorder to the machine and
@@ -65,13 +72,18 @@ type card struct {
 	internal *fabric.Link // stack-to-stack, nil when SubCount == 1
 }
 
-// New builds a machine for the node.
+// New builds a machine for the node on its own engine and network.
 func New(node *topology.NodeSpec) (*Machine, error) {
+	eng := sim.NewEngine()
+	return newOn(eng, fabric.NewNetwork(eng), node, "", 0)
+}
+
+// newOn builds a machine on a caller-supplied engine and network — the
+// shared-clock path a Cluster uses to co-simulate several nodes.
+func newOn(eng *sim.Engine, net *fabric.Network, node *topology.NodeSpec, prefix string, gpuBase int) (*Machine, error) {
 	if err := node.Validate(); err != nil {
 		return nil, err
 	}
-	eng := sim.NewEngine()
-	net := fabric.NewNetwork(eng)
 	m := &Machine{
 		Eng:       eng,
 		Net:       net,
@@ -79,18 +91,20 @@ func New(node *topology.NodeSpec) (*Machine, error) {
 		Model:     perfmodel.New(node),
 		peerLinks: map[stackPair]*fabric.Link{},
 		queues:    map[topology.StackID]*sim.Resource{},
+		prefix:    prefix,
+		gpuBase:   gpuBase,
 	}
-	m.poolH2D = net.MustConstraint("host/h2d-pool", node.HostH2DPool)
-	m.poolD2H = net.MustConstraint("host/d2h-pool", node.HostD2HPool)
-	m.poolBidir = net.MustConstraint("host/bidir-pool", node.HostBidirPool)
+	m.poolH2D = net.MustConstraint(prefix+"host/h2d-pool", node.HostH2DPool)
+	m.poolD2H = net.MustConstraint(prefix+"host/d2h-pool", node.HostD2HPool)
+	m.poolBidir = net.MustConstraint(prefix+"host/bidir-pool", node.HostBidirPool)
 	gpu := node.GPU
 	for i := 0; i < node.GPUCount; i++ {
 		c := &card{
-			pcie: fabric.NewLink(net, fmt.Sprintf("card%d/pcie", i),
+			pcie: fabric.NewLink(net, fmt.Sprintf("%scard%d/pcie", prefix, i),
 				gpu.HostLink.Sustained(), gpu.HostLink.DuplexFactor, gpu.HostLink.Latency),
 		}
 		if gpu.SubCount > 1 {
-			c.internal = fabric.NewLink(net, fmt.Sprintf("card%d/internal", i),
+			c.internal = fabric.NewLink(net, fmt.Sprintf("%scard%d/internal", prefix, i),
 				gpu.InternalLink.Sustained(), gpu.InternalLink.DuplexFactor, gpu.InternalLink.Latency)
 		}
 		m.cards = append(m.cards, c)
@@ -117,7 +131,7 @@ func (m *Machine) peerLink(a, b topology.StackID) *fabric.Link {
 		return l
 	}
 	spec := m.Node.GPU.PeerLink
-	l := fabric.NewLink(m.Net, fmt.Sprintf("peer%v-%v", key.a, key.b),
+	l := fabric.NewLink(m.Net, fmt.Sprintf("%speer%v-%v", m.prefix, key.a, key.b),
 		spec.Sustained(), spec.DuplexFactor, spec.Latency)
 	m.peerLinks[key] = l
 	return l
@@ -150,7 +164,7 @@ func (m *Machine) Stacks() []*Stack {
 func (s *Stack) queue() *sim.Resource {
 	q, ok := s.m.queues[s.ID]
 	if !ok {
-		q = sim.NewResource(s.m.Eng, "queue:"+s.ID.String(), 1)
+		q = sim.NewResource(s.m.Eng, s.m.prefix+"queue:"+s.ID.String(), 1)
 		s.m.queues[s.ID] = q
 	}
 	return q

@@ -109,7 +109,7 @@ func (m *Machine) record(name, kind string, st topology.StackID, start, end unit
 	}
 	if m.obs != nil {
 		m.obs.Span(obs.Span{
-			Name: name, Cat: kind, GPU: st.GPU, Stack: st.Stack,
+			Name: name, Cat: kind, GPU: m.gpuBase + st.GPU, Stack: st.Stack,
 			Start: start, End: end, Bytes: bytes, Flops: flops,
 			Bound: bound,
 		})

@@ -16,9 +16,15 @@ import (
 )
 
 // Comm is a communicator spanning nranks simulated processes, rank r bound
-// to subdevice r in GPU-major order (the paper's rank binding).
+// to subdevice r in GPU-major order (the paper's rank binding). A
+// communicator spans either one machine (NewComm) or a whole cluster
+// (NewClusterComm); in the latter case inter-node sends are routed over
+// the cluster network instead of the node-local fabric.
 type Comm struct {
-	m       *gpusim.Machine
+	m       *gpusim.Machine // nil for cluster communicators
+	cl      *gpusim.Cluster // nil for single-node communicators
+	eng     *sim.Engine
+	run     func() error
 	ranks   []*Rank
 	barrier *sim.Barrier
 }
@@ -36,6 +42,7 @@ type message struct {
 type Rank struct {
 	comm    *Comm
 	rank    int
+	Node    int // node index within the cluster (0 on a single node)
 	Stack   *gpusim.Stack
 	Binding topology.RankBinding
 	inbox   []*message
@@ -48,7 +55,7 @@ func NewComm(m *gpusim.Machine, nranks int) (*Comm, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Comm{m: m, barrier: sim.NewBarrier(m.Eng, nranks)}
+	c := &Comm{m: m, eng: m.Eng, run: m.Run, barrier: sim.NewBarrier(m.Eng, nranks)}
 	for r := 0; r < nranks; r++ {
 		st, err := m.Stack(bindings[r].Stack)
 		if err != nil {
@@ -65,22 +72,64 @@ func NewComm(m *gpusim.Machine, nranks int) (*Comm, error) {
 	return c, nil
 }
 
+// NewClusterComm creates a communicator of nranks ranks across a
+// cluster, placed under the given policy. Within each node the paper's
+// rank binding applies unchanged; sends between ranks on different
+// nodes cross the cluster network.
+func NewClusterComm(cl *gpusim.Cluster, nranks int, place topology.Placement) (*Comm, error) {
+	bindings, err := cl.Spec.BindRanks(nranks, place)
+	if err != nil {
+		return nil, err
+	}
+	c := &Comm{cl: cl, eng: cl.Eng, run: cl.Run, barrier: sim.NewBarrier(cl.Eng, nranks)}
+	for r := 0; r < nranks; r++ {
+		st, err := cl.Node(bindings[r].Node).Stack(bindings[r].Local.Stack)
+		if err != nil {
+			return nil, err
+		}
+		c.ranks = append(c.ranks, &Rank{
+			comm:    c,
+			rank:    r,
+			Node:    bindings[r].Node,
+			Stack:   st,
+			Binding: bindings[r].Local,
+			newMsg:  sim.NewSignal(cl.Eng),
+		})
+	}
+	return c, nil
+}
+
+// startTransfer routes one eager send over the right fabric: the
+// node-local D2D path when both ranks share a node, the cluster network
+// otherwise.
+func (c *Comm) startTransfer(src, dst *Rank, size units.Bytes) (*fabric.Flow, error) {
+	if c.cl != nil && src.Node != dst.Node {
+		return c.cl.StartRemote(src.Node, src.Stack.ID, dst.Node, dst.Stack.ID, size)
+	}
+	return src.Stack.StartD2D(dst.Stack.ID, size)
+}
+
 // Size returns the communicator size.
 func (c *Comm) Size() int { return len(c.ranks) }
 
-// Machine returns the underlying simulated node.
+// Machine returns the underlying simulated node (nil for cluster
+// communicators).
 func (c *Comm) Machine() *gpusim.Machine { return c.m }
+
+// Cluster returns the underlying cluster (nil for single-node
+// communicators).
+func (c *Comm) Cluster() *gpusim.Cluster { return c.cl }
 
 // Spawn starts one simulation process per rank running body, then runs
 // the simulation to completion.
 func (c *Comm) Spawn(body func(p *sim.Proc, r *Rank)) error {
 	for _, r := range c.ranks {
 		rr := r
-		c.m.Go(fmt.Sprintf("rank%d", rr.rank), func(p *sim.Proc) {
+		c.eng.Go(fmt.Sprintf("rank%d", rr.rank), func(p *sim.Proc) {
 			body(p, rr)
 		})
 	}
-	return c.m.Run()
+	return c.run()
 }
 
 // Rank index of this process.
@@ -107,7 +156,7 @@ func (r *Rank) Isend(dst, tag int, size units.Bytes) (*Request, error) {
 		return nil, fmt.Errorf("mpirt: Isend to invalid rank %d", dst)
 	}
 	peer := r.comm.ranks[dst]
-	flow, err := r.Stack.StartD2D(peer.Stack.ID, size)
+	flow, err := r.comm.startTransfer(r, peer, size)
 	if err != nil {
 		return nil, err
 	}

@@ -41,6 +41,10 @@ const (
 	// BoundFabricXPlane marks cross-plane peer transfers that pay the
 	// extra internal hop (§IV-A4).
 	BoundFabricXPlane = "fabric.remote-xplane"
+	// BoundFabricNode marks inter-node transfers over the cluster
+	// network (NIC injection + switch fabric), the scale-out extension
+	// of the paper's single-node fabric taxonomy.
+	BoundFabricNode = "fabric.remote-node"
 	// BoundPower marks compute spans whose governed clock sits below
 	// MaxClock — the TDP/DVFS throttle of §IV-B2 is the binding
 	// resource, not the pipeline itself.
@@ -68,7 +72,7 @@ func BoundCache(levelName string) string {
 func KnownBound(tag string) bool {
 	switch tag {
 	case BoundHBM, BoundPCIe, BoundFabricLocal, BoundFabricRemote,
-		BoundFabricXPlane, BoundPower, BoundLaunch:
+		BoundFabricXPlane, BoundFabricNode, BoundPower, BoundLaunch:
 		return true
 	}
 	return strings.HasPrefix(tag, "compute.") || strings.HasPrefix(tag, "cache.")
@@ -102,11 +106,12 @@ func NewTally() *Tally { return &Tally{byBound: map[string]float64{}} }
 // Sample implements Recorder.
 func (t *Tally) Sample(bound string, seconds float64) { t.byBound[bound] += seconds }
 
-// Total returns the attributed simulated seconds across all bounds.
+// Total returns the attributed simulated seconds across all bounds,
+// summed in sorted-tag order so the result is bit-identical run to run.
 func (t *Tally) Total() float64 {
 	total := 0.0
-	for _, s := range t.byBound {
-		total += s
+	for _, b := range sortedBounds(t.byBound) {
+		total += t.byBound[b]
 	}
 	return total
 }

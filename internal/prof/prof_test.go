@@ -21,7 +21,7 @@ func TestBoundTags(t *testing.T) {
 	}
 	for _, tag := range []string{
 		BoundHBM, BoundPCIe, BoundFabricLocal, BoundFabricRemote,
-		BoundFabricXPlane, BoundPower, BoundLaunch,
+		BoundFabricXPlane, BoundFabricNode, BoundPower, BoundLaunch,
 		BoundCompute(hw.BF16), BoundCache("LLC"),
 	} {
 		if !KnownBound(tag) {

@@ -105,22 +105,36 @@ func Build(rep *obs.RunReport) *Profile {
 }
 
 // tallyShares converts a bound→seconds map into sorted shares with
-// fractions of the total.
+// fractions of the total. The total is summed in sorted-tag order, not
+// map order: float addition is order-sensitive in the last ulp, and a
+// cell with three or more bound tags would otherwise print different
+// fraction digits run to run.
 func tallyShares(byBound map[string]float64) []BoundShare {
+	bounds := sortedBounds(byBound)
 	total := 0.0
-	for _, s := range byBound {
-		total += s
+	for _, b := range bounds {
+		total += byBound[b]
 	}
-	out := make([]BoundShare, 0, len(byBound))
-	for b, s := range byBound {
-		sh := BoundShare{Bound: b, Seconds: s}
+	out := make([]BoundShare, 0, len(bounds))
+	for _, b := range bounds {
+		sh := BoundShare{Bound: b, Seconds: byBound[b]}
 		if total > 0 {
-			sh.Fraction = s / total
+			sh.Fraction = byBound[b] / total
 		}
 		out = append(out, sh)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Bound < out[j].Bound })
 	return out
+}
+
+// sortedBounds returns the map's keys in sorted order — the canonical
+// accumulation order for every float sum over a bound tally.
+func sortedBounds(byBound map[string]float64) []string {
+	bounds := make([]string, 0, len(byBound))
+	for b := range byBound {
+		bounds = append(bounds, b)
+	}
+	sort.Strings(bounds)
+	return bounds
 }
 
 // WriteJSON writes the machine-readable profile as indented JSON. Like

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path"
 	"strings"
 
 	"pvcsim/internal/obs"
@@ -107,16 +108,43 @@ func (f *ObsFlags) Finish(summary io.Writer) error {
 
 // List renders the registry as the -list table shared by the command
 // line tools: one row per workload with its systems and parameters.
-func List(out io.Writer, reg *workload.Registry) error {
+// A non-empty pattern restricts the rows: it is matched as a path.Match
+// glob against each name ("clover-strong/*", "allreduce/*algo=ring*"),
+// or, when it contains no glob metacharacters, as a name prefix
+// ("clover"). List returns the number of rows rendered so callers can
+// exit distinctly when a filter matched nothing.
+func List(out io.Writer, reg *workload.Registry, pattern string) (int, error) {
+	match := func(string) bool { return true }
+	if pattern != "" {
+		if strings.ContainsAny(pattern, "*?[\\") {
+			if _, err := path.Match(pattern, ""); err != nil {
+				return 0, fmt.Errorf("runner: bad -filter pattern %q: %w", pattern, err)
+			}
+			match = func(name string) bool {
+				ok, _ := path.Match(pattern, name)
+				return ok
+			}
+		} else {
+			match = func(name string) bool { return strings.HasPrefix(name, pattern) }
+		}
+	}
 	t := report.NewTable("Registered workloads", "Name", "Systems", "Parameters", "Description")
+	n := 0
 	for _, w := range reg.Workloads() {
+		if !match(w.Name()) {
+			continue
+		}
+		n++
 		var names []string
 		for _, sys := range w.Systems() {
 			names = append(names, sys.String())
 		}
 		t.AddRow(w.Name(), strings.Join(names, ","), workload.ParamsOf(w), workload.DescriptionOf(w))
 	}
-	return t.Render(out)
+	if n == 0 {
+		return 0, nil
+	}
+	return n, t.Render(out)
 }
 
 // RunNamed executes one registered workload (on the given systems, or on

@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"pvcsim/internal/gpusim"
+	"pvcsim/internal/sweep"
 	"pvcsim/internal/topology"
 	"pvcsim/internal/workload"
 )
@@ -80,7 +81,7 @@ func TestRunCachedFlag(t *testing.T) {
 }
 
 func TestParallelMatchesSerial(t *testing.T) {
-	reg := workload.DefaultRegistry()
+	reg := sweep.DefaultRegistry()
 	serial := New(1).RunAll(context.Background(), reg)
 	parallel := New(runtime.NumCPU()).RunAll(context.Background(), reg)
 	if len(serial) != len(parallel) {
@@ -101,7 +102,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 }
 
 func TestUnsupportedSystem(t *testing.T) {
-	reg := workload.DefaultRegistry()
+	reg := sweep.DefaultRegistry()
 	w, ok := reg.Get("dgemm") // PVC-only
 	if !ok {
 		t.Fatal("dgemm not registered")
@@ -118,7 +119,7 @@ func TestContextCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	r := New(2)
-	for _, res := range r.Run(ctx, Cells(workload.DefaultRegistry())) {
+	for _, res := range r.Run(ctx, Cells(sweep.DefaultRegistry())) {
 		if res.Err == nil {
 			t.Fatalf("cell %s/%s succeeded under a cancelled context", res.Name, res.System)
 		}
@@ -152,7 +153,7 @@ func TestRunError(t *testing.T) {
 }
 
 func TestCellsOrder(t *testing.T) {
-	reg := workload.DefaultRegistry()
+	reg := sweep.DefaultRegistry()
 	cells := Cells(reg)
 	var want int
 	for _, w := range reg.Workloads() {
@@ -181,10 +182,14 @@ func TestJobsDefault(t *testing.T) {
 }
 
 func TestListAndRunNamed(t *testing.T) {
-	reg := workload.DefaultRegistry()
+	reg := sweep.DefaultRegistry()
 	var buf bytes.Buffer
-	if err := List(&buf, reg); err != nil {
+	n, err := List(&buf, reg, "")
+	if err != nil {
 		t.Fatal(err)
+	}
+	if n != reg.Len() {
+		t.Errorf("unfiltered List rendered %d rows, want %d", n, reg.Len())
 	}
 	for _, name := range []string{"triad", "p2p", "minibude", "energy"} {
 		if !strings.Contains(buf.String(), name) {
@@ -192,9 +197,41 @@ func TestListAndRunNamed(t *testing.T) {
 		}
 	}
 
+	// Prefix filter: every clover-strong cell and nothing else.
 	buf.Reset()
-	err := RunNamed(context.Background(), &buf, New(1), reg, "triad", nil, false)
+	n, err = List(&buf, reg, "clover-strong/")
 	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 18 {
+		t.Errorf("prefix filter rendered %d rows, want 18", n)
+	}
+	if strings.Contains(buf.String(), "triad") {
+		t.Error("prefix filter leaked unrelated workloads")
+	}
+
+	// Glob filter: metacharacters switch to path.Match semantics.
+	buf.Reset()
+	if n, err = List(&buf, reg, "allreduce/*algo=ring"); err != nil {
+		t.Fatal(err)
+	}
+	if n != 6 {
+		t.Errorf("glob filter rendered %d rows, want 6", n)
+	}
+
+	// No match: zero rows, no output, no error — the CLI turns this
+	// into exit code 3.
+	buf.Reset()
+	if n, err = List(&buf, reg, "zzz-nope"); err != nil || n != 0 || buf.Len() != 0 {
+		t.Errorf("no-match List = (%d, %v), buffered %d bytes; want (0, nil) and no output", n, err, buf.Len())
+	}
+
+	if _, err := List(&buf, reg, "[bad"); err == nil {
+		t.Error("malformed glob pattern accepted")
+	}
+
+	buf.Reset()
+	if err := RunNamed(context.Background(), &buf, New(1), reg, "triad", nil, false); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"Aurora", "Dawn", "One Stack", "TB/s"} {
@@ -211,7 +248,7 @@ func TestListAndRunNamed(t *testing.T) {
 }
 
 func ExampleRunner_RunOne() {
-	reg := workload.DefaultRegistry()
+	reg := sweep.DefaultRegistry()
 	w, _ := reg.Get("triad")
 	res, _ := New(1).RunOne(context.Background(), topology.Aurora, w)
 	v, _ := res.Lookup("Memory Bandwidth (triad)", "One Stack")

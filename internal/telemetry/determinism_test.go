@@ -8,15 +8,15 @@ import (
 	"pvcsim/internal/obs"
 	"pvcsim/internal/prof"
 	"pvcsim/internal/runner"
+	"pvcsim/internal/sweep"
 	"pvcsim/internal/topology"
-	"pvcsim/internal/workload"
 )
 
 // exports renders the three simulated exports (metrics JSON, Chrome
 // trace, bound profile) of one observed run of the given cells.
 func exports(t *testing.T, jobs int, withTelemetry bool) (metrics, trace, profile []byte) {
 	t.Helper()
-	reg := workload.DefaultRegistry()
+	reg := sweep.DefaultRegistry()
 	var cells []runner.Cell
 	// A representative cross-section: a fabric-heavy mini-app scaling
 	// run plus microbenchmark cells, duplicated to exercise the memo.
@@ -108,7 +108,7 @@ func TestHooksAreSideChannel(t *testing.T) {
 // tallies themselves are deterministic across worker counts — the memo
 // computes each distinct key exactly once however workers race.
 func TestHooksSeeDeterministicCounts(t *testing.T) {
-	reg := workload.DefaultRegistry()
+	reg := sweep.DefaultRegistry()
 	w, ok := reg.Get("clover-scaling")
 	if !ok {
 		t.Fatal("clover-scaling not registered")

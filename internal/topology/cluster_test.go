@@ -1,0 +1,317 @@
+package topology
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pvcsim/internal/units"
+)
+
+// TestBindRanksEdgeCases sweeps every modeled system: binding the full
+// stack count works, one past it fails with the supported range in the
+// message, and non-positive counts fail.
+func TestBindRanksEdgeCases(t *testing.T) {
+	for _, sys := range AllSystemsExtended() {
+		n := NewNode(sys)
+		full, err := n.BindRanks(n.TotalStacks())
+		if err != nil {
+			t.Fatalf("%s: full binding: %v", sys, err)
+		}
+		if len(full) != n.TotalStacks() {
+			t.Errorf("%s: bound %d ranks, want %d", sys, len(full), n.TotalStacks())
+		}
+		over := n.TotalStacks() + 1
+		if _, err := n.BindRanks(over); err == nil ||
+			!strings.Contains(err.Error(), fmt.Sprintf("1..%d", n.TotalStacks())) {
+			t.Errorf("%s: BindRanks(%d) = %v, want range error", sys, over, err)
+		}
+		for _, bad := range []int{0, -1} {
+			if _, err := n.BindRanks(bad); err == nil {
+				t.Errorf("%s: BindRanks(%d) accepted", sys, bad)
+			}
+		}
+	}
+}
+
+// TestParseAffinityMaskEdgeCases adds the malformed and degenerate
+// inputs around the existing mask tests: whitespace-only masks behave
+// like the empty mask, and entry syntax errors are rejected with the
+// offending entry quoted.
+func TestParseAffinityMaskEdgeCases(t *testing.T) {
+	n := NewAurora()
+	all, err := n.ParseAffinityMask("   ")
+	if err != nil || len(all) != n.TotalStacks() {
+		t.Fatalf("whitespace mask: %v, %v (want all %d stacks)", all, err, n.TotalStacks())
+	}
+	for _, bad := range []string{",", "0,", ",0", "0..0", "0.", ".", ".1", "0 1", "1e1", "0.0,9.9"} {
+		stacks, err := n.ParseAffinityMask(bad)
+		if err == nil {
+			t.Errorf("mask %q accepted: %v", bad, stacks)
+			continue
+		}
+		if !strings.Contains(err.Error(), "bad affinity entry") {
+			t.Errorf("mask %q: error %v does not name the entry", bad, err)
+		}
+	}
+}
+
+// TestNodeConfigRoundTripProperty is a seeded property test: random
+// configurations survive SaveNodeConfig → LoadNodeConfig with the built
+// node identical to building the config directly.
+func TestNodeConfigRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	bases := []string{"aurora", "dawn", "h100", "mi250", "frontier"}
+	for i := 0; i < 200; i++ {
+		c := &NodeConfig{BaseSystem: bases[rng.Intn(len(bases))]}
+		if rng.Intn(2) == 0 {
+			c.Name = fmt.Sprintf("custom-%d", i)
+		}
+		if rng.Intn(2) == 0 {
+			c.GPUCount = 1 + rng.Intn(8)
+		}
+		if rng.Intn(2) == 0 {
+			c.PowerCapW = 100 + float64(rng.Intn(600))
+		}
+		if rng.Intn(2) == 0 {
+			c.CPUSockets = 1 + rng.Intn(2)
+		}
+		if rng.Intn(2) == 0 {
+			c.CoresPerSocket = 16 + rng.Intn(100)
+		}
+		if rng.Intn(2) == 0 {
+			c.CPUMemBWGBs = 50 + float64(rng.Intn(500))
+		}
+		if rng.Intn(2) == 0 {
+			c.HostH2DGBs = 10 + float64(rng.Intn(100))
+		}
+		if c.BaseSystem != "h100" && c.BaseSystem != "mi250" && rng.Intn(2) == 0 {
+			c.XeCoresPerSub = 32 + rng.Intn(64)
+			c.AutoPlanes = rng.Intn(2) == 0
+		}
+		direct, directErr := c.Build()
+		var buf bytes.Buffer
+		if err := SaveNodeConfig(&buf, c); err != nil {
+			t.Fatalf("config %d: save: %v", i, err)
+		}
+		loaded, loadedErr := LoadNodeConfig(bytes.NewReader(buf.Bytes()))
+		if (directErr == nil) != (loadedErr == nil) {
+			t.Fatalf("config %d: direct err %v vs loaded err %v\n%s", i, directErr, loadedErr, buf.String())
+		}
+		if directErr != nil {
+			continue
+		}
+		if !reflect.DeepEqual(direct, loaded) {
+			t.Fatalf("config %d: round-trip changed the node\nconfig: %s\ndirect: %+v\nloaded: %+v",
+				i, buf.String(), direct, loaded)
+		}
+	}
+}
+
+// TestNetworkSpecValidate covers the parameter checks and the latency
+// composition rule.
+func TestNetworkSpecValidate(t *testing.T) {
+	good := NewSlingshot(4)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 4 link traversals at 300ns + 3 switch traversals at 350ns.
+	want := 4*300*units.Nanosecond + 3*350*units.Nanosecond
+	if got := good.RemoteLatency(); got != want {
+		t.Errorf("RemoteLatency = %v, want %v", got, want)
+	}
+	cases := []struct {
+		mutate func(*NetworkSpec)
+		want   string
+	}{
+		{func(n *NetworkSpec) { n.InjectionBW = 0 }, "injection"},
+		{func(n *NetworkSpec) { n.GlobalBW = -1 }, "global"},
+		{func(n *NetworkSpec) { n.Hops = -1 }, "hop"},
+		{func(n *NetworkSpec) { n.LinkLatency = -units.Nanosecond }, "latency"},
+	}
+	for _, c := range cases {
+		n := NewSlingshot(2)
+		c.mutate(&n)
+		if err := n.Validate(); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Validate = %v, want error containing %q", err, c.want)
+		}
+	}
+}
+
+// TestClusterRoute checks path classification: intra-node pairs keep
+// their single-node kind, inter-node pairs are RemoteNode.
+func TestClusterRoute(t *testing.T) {
+	c := NewCluster(Aurora, 2)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a := GlobalStack{Node: 0, Stack: StackID{GPU: 0, Stack: 0}}
+	b := GlobalStack{Node: 0, Stack: StackID{GPU: 0, Stack: 1}}
+	if got := c.Route(a, b); got != LocalStack {
+		t.Errorf("intra-card route = %v, want %v", got, LocalStack)
+	}
+	r := GlobalStack{Node: 1, Stack: StackID{GPU: 0, Stack: 0}}
+	if got := c.Route(a, r); got != RemoteNode {
+		t.Errorf("inter-node route = %v, want %v", got, RemoteNode)
+	}
+	if s := r.String(); s != "n1:0.0" {
+		t.Errorf("GlobalStack string = %q", s)
+	}
+	if got, want := c.TotalStacks(), 2*NewAurora().TotalStacks(); got != want {
+		t.Errorf("TotalStacks = %d, want %d", got, want)
+	}
+}
+
+// TestClusterBindRanksPolicies checks packed fills node 0 first while
+// spread deals round-robin, both reusing the single-node core binding.
+func TestClusterBindRanksPolicies(t *testing.T) {
+	c := NewCluster(Aurora, 2)
+	perNode := c.Node.TotalStacks()
+
+	packed, err := c.BindRanks(perNode+2, PlacePacked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < perNode; r++ {
+		if packed[r].Node != 0 {
+			t.Errorf("packed rank %d on node %d, want 0", r, packed[r].Node)
+		}
+	}
+	if packed[perNode].Node != 1 || packed[perNode+1].Node != 1 {
+		t.Errorf("packed overflow ranks on nodes %d,%d, want 1,1",
+			packed[perNode].Node, packed[perNode+1].Node)
+	}
+
+	spread, err := c.BindRanks(4, PlaceSpread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, want := range []int{0, 1, 0, 1} {
+		if spread[r].Node != want {
+			t.Errorf("spread rank %d on node %d, want %d", r, spread[r].Node, want)
+		}
+	}
+	// Spread past one node's capacity wraps onto nodes with room.
+	full, err := c.BindRanks(2*perNode, PlaceSpread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, b := range full {
+		counts[b.Node]++
+	}
+	if counts[0] != perNode || counts[1] != perNode {
+		t.Errorf("spread full cluster fills %v, want %d per node", counts, perNode)
+	}
+	// A one-node cluster reproduces the paper's single-node binding.
+	one := NewCluster(Aurora, 1)
+	cb, err := one.BindRanks(perNode, PlacePacked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := one.Node.BindRanks(perNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range cb {
+		if cb[r].Local != nb[r] {
+			t.Errorf("rank %d: cluster binding %+v != node binding %+v", r, cb[r].Local, nb[r])
+		}
+	}
+	// Range errors.
+	if _, err := c.BindRanks(0, PlacePacked); err == nil {
+		t.Error("0 ranks accepted")
+	}
+	if _, err := c.BindRanks(2*perNode+1, PlaceSpread); err == nil {
+		t.Error("overfull cluster accepted")
+	}
+}
+
+// TestParsePlacement covers the policy spellings.
+func TestParsePlacement(t *testing.T) {
+	for name, want := range map[string]Placement{
+		"packed": PlacePacked, "block": PlacePacked,
+		"spread": PlaceSpread, "cyclic": PlaceSpread, "SPREAD": PlaceSpread,
+	} {
+		got, err := ParsePlacement(name)
+		if err != nil || got != want {
+			t.Errorf("ParsePlacement(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParsePlacement("diagonal"); err == nil {
+		t.Error("unknown placement accepted")
+	}
+	if PlacePacked.String() != "packed" || PlaceSpread.String() != "spread" {
+		t.Error("placement names changed")
+	}
+}
+
+// TestClusterConfigRoundTrip checks the JSON schema: defaults fall back
+// to Slingshot, overrides apply, and Save → Load reproduces Build.
+func TestClusterConfigRoundTrip(t *testing.T) {
+	c := &ClusterConfig{
+		Name:  "testbed",
+		Nodes: 4,
+		Node:  NodeConfig{BaseSystem: "aurora", GPUCount: 4},
+		Network: NetworkConfigFields{
+			Name:          "fat-tree",
+			InjectionGBs:  50,
+			GlobalGBs:     200,
+			LinkLatencyUs: 0.5,
+			Hops:          2,
+		},
+	}
+	direct, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Network.Name != "fat-tree" || direct.Network.InjectionBW != 50*units.GBps ||
+		direct.Network.GlobalBW != 200*units.GBps || direct.Network.Hops != 2 {
+		t.Errorf("overrides not applied: %+v", direct.Network)
+	}
+	if direct.Network.DuplexFactor != 2 || direct.Network.SwitchLatency != 350*units.Nanosecond {
+		t.Errorf("unset fields should keep Slingshot defaults: %+v", direct.Network)
+	}
+	if direct.Node.GPUCount != 4 {
+		t.Errorf("node override lost: %d GPUs", direct.Node.GPUCount)
+	}
+	var buf bytes.Buffer
+	if err := SaveClusterConfig(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadClusterConfig(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("load: %v\n%s", err, buf.String())
+	}
+	if !reflect.DeepEqual(direct, loaded) {
+		t.Errorf("round-trip changed the cluster\ndirect: %+v\nloaded: %+v", direct, loaded)
+	}
+	// Unknown fields and missing node counts are rejected.
+	if _, err := LoadClusterConfig(strings.NewReader(`{"nodes":2,"node":{"base_system":"aurora"},"typo":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := LoadClusterConfig(strings.NewReader(`{"node":{"base_system":"aurora"}}`)); err == nil {
+		t.Error("missing nodes accepted")
+	}
+}
+
+// TestAllSystemsExtended checks the extended list is the paper set plus
+// Frontier, in order.
+func TestAllSystemsExtended(t *testing.T) {
+	ext := AllSystemsExtended()
+	base := AllSystems()
+	if len(ext) != len(base)+1 {
+		t.Fatalf("extended list has %d systems, want %d", len(ext), len(base)+1)
+	}
+	for i, s := range base {
+		if ext[i] != s {
+			t.Errorf("extended[%d] = %v, want %v", i, ext[i], s)
+		}
+	}
+	if ext[len(ext)-1] != Frontier {
+		t.Errorf("extended list should end with Frontier, got %v", ext[len(ext)-1])
+	}
+}

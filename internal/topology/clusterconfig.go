@@ -1,0 +1,92 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pvcsim/internal/units"
+)
+
+// ClusterConfig is the serialized form of a cluster: a node description
+// (the NodeConfig schema, unchanged) replicated nodes times, joined by a
+// network whose zero-valued fields fall back to the Slingshot defaults.
+type ClusterConfig struct {
+	Name  string `json:"name"`
+	Nodes int    `json:"nodes"`
+	// Node embeds the existing single-node schema; its base_system is
+	// required exactly as for LoadNodeConfig.
+	Node    NodeConfig          `json:"node"`
+	Network NetworkConfigFields `json:"network,omitempty"`
+}
+
+// NetworkConfigFields are the inter-node network overrides (zero values
+// keep the Slingshot defaults for the configured node count).
+type NetworkConfigFields struct {
+	Name            string  `json:"name,omitempty"`
+	InjectionGBs    float64 `json:"injection_gbs,omitempty"`
+	DuplexFactor    float64 `json:"duplex_factor,omitempty"`
+	GlobalGBs       float64 `json:"global_gbs,omitempty"`
+	LinkLatencyUs   float64 `json:"link_latency_us,omitempty"`
+	SwitchLatencyUs float64 `json:"switch_latency_us,omitempty"`
+	Hops            int     `json:"hops,omitempty"`
+}
+
+// Build materializes the configuration into a validated ClusterSpec.
+func (c *ClusterConfig) Build() (*ClusterSpec, error) {
+	if c.Nodes < 1 {
+		return nil, fmt.Errorf("topology: cluster config needs nodes >= 1, got %d", c.Nodes)
+	}
+	node, err := c.Node.Build()
+	if err != nil {
+		return nil, err
+	}
+	net := NewSlingshot(c.Nodes)
+	if c.Network.Name != "" {
+		net.Name = c.Network.Name
+	}
+	if c.Network.InjectionGBs > 0 {
+		net.InjectionBW = units.ByteRate(c.Network.InjectionGBs) * units.GBps
+	}
+	if c.Network.DuplexFactor > 0 {
+		net.DuplexFactor = c.Network.DuplexFactor
+	}
+	if c.Network.GlobalGBs > 0 {
+		net.GlobalBW = units.ByteRate(c.Network.GlobalGBs) * units.GBps
+	}
+	if c.Network.LinkLatencyUs > 0 {
+		net.LinkLatency = units.Seconds(c.Network.LinkLatencyUs) * units.Microsecond
+	}
+	if c.Network.SwitchLatencyUs > 0 {
+		net.SwitchLatency = units.Seconds(c.Network.SwitchLatencyUs) * units.Microsecond
+	}
+	if c.Network.Hops > 0 {
+		net.Hops = c.Network.Hops
+	}
+	spec := &ClusterSpec{Name: c.Name, Node: node, NodeCount: c.Nodes, Network: net}
+	if spec.Name == "" {
+		spec.Name = fmt.Sprintf("%s x%d", node.Name, c.Nodes)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// LoadClusterConfig reads a JSON configuration and builds its cluster.
+func LoadClusterConfig(r io.Reader) (*ClusterSpec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var c ClusterConfig
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("topology: parsing cluster config: %w", err)
+	}
+	return c.Build()
+}
+
+// SaveClusterConfig writes the configuration as indented JSON.
+func SaveClusterConfig(w io.Writer, c *ClusterConfig) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}

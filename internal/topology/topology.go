@@ -51,6 +51,13 @@ func (s System) String() string {
 // AllSystems lists the four systems in the paper's column order.
 func AllSystems() []System { return []System{Aurora, Dawn, JLSEH100, JLSEMI250} }
 
+// AllSystemsExtended lists every modeled system: the four paper systems
+// plus Frontier, the §VII future-work target. Sweep axis validation and
+// what-if tooling accept this set; the paper tables stay on AllSystems.
+func AllSystemsExtended() []System {
+	return []System{Aurora, Dawn, JLSEH100, JLSEMI250, Frontier}
+}
+
 // ParseSystem resolves a user-supplied system name (command-line flag
 // spelling or the paper's table spelling, case-insensitive) to a System.
 // Unknown names produce an error listing the accepted spellings.
@@ -192,6 +199,9 @@ const (
 	// RemoteExtraHop needs an additional hop (via the peer stack's
 	// partner or the local partner stack), the §IV-A4 caveat.
 	RemoteExtraHop
+	// RemoteNode crosses the inter-node network of a ClusterSpec: NIC
+	// injection on both ends plus the switch fabric between them.
+	RemoteNode
 )
 
 // String names the path kind.
@@ -205,6 +215,8 @@ func (k PathKind) String() string {
 		return "remote-direct"
 	case RemoteExtraHop:
 		return "remote-extra-hop"
+	case RemoteNode:
+		return "remote-node"
 	default:
 		return fmt.Sprintf("PathKind(%d)", int(k))
 	}

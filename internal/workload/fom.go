@@ -41,11 +41,11 @@ func FOMName(w paper.Workload) (string, bool) {
 // FOMGranularities lists the Table VI column granularities in order.
 var FOMGranularities = []expected.Granularity{expected.PerStack, expected.PerGPU, expected.PerNode}
 
-// newFOMWorkload wraps one Table V/VI workload: it evaluates the figure
+// NewFOMCell wraps one Table V/VI workload: it evaluates the figure
 // of merit at every granularity the paper defines for it (blank cells
 // produce no value, exactly as published — mini-GAMESS on MI250, the
 // non-MPI miniBUDE at full node, the node-only applications).
-func newFOMWorkload(w paper.Workload) *Spec {
+func NewFOMCell(w paper.Workload) *Spec {
 	c := paper.TableV[w]
 	return New(mustFOMName(w),
 		fmt.Sprintf("Table VI row: %s (%s, %s-bound)", w, c.Domain, c.Bound),
@@ -136,10 +136,10 @@ func EvalFOM(w paper.Workload, sys topology.System, g expected.Granularity) (flo
 	}
 }
 
-// newBUDESweepWorkload wraps the miniBUDE ppwi/work-group tuning surface
+// NewBUDESweepCell wraps the miniBUDE ppwi/work-group tuning surface
 // behind the paper's "combination of poses per work-item and work-group
 // sizes" search (the occupancy model's register cliff made visible).
-func newBUDESweepWorkload() *Spec {
+func NewBUDESweepCell() *Spec {
 	return New("minibude-sweep",
 		"miniBUDE ppwi/work-group tuning surface (occupancy model)",
 		"ppwi=1,2,4,8,16 wg=64,128,256",
@@ -180,9 +180,9 @@ var energySpecs = []struct {
 // EnergyWork is the fixed work of the X21 comparison: 10 Pflop.
 const EnergyWork = 1e16
 
-// newEnergyWorkload wraps the X12/X21 extension: full-node energy to
+// NewEnergyCell wraps the X12/X21 extension: full-node energy to
 // solution for a fixed DGEMM and FP32-FMA workload.
-func newEnergyWorkload() *Spec {
+func NewEnergyCell() *Spec {
 	return New("energy",
 		"X21: full-node energy to solution (DGEMM and FP32 FMA, 10 Pflop)",
 		fmt.Sprintf("work=%.0e", EnergyWork),

@@ -83,10 +83,10 @@ var TableIIScopes = []paper.Scope{paper.OneStack, paper.OnePVC, paper.FullNode}
 // pvcSystems are the two systems Table II/III are published for.
 func pvcSystems() []topology.System { return []topology.System{topology.Aurora, topology.Dawn} }
 
-// newMetricWorkload wraps one Table II metric: it evaluates the metric at
+// NewMetricCell wraps one Table II metric: it evaluates the metric at
 // the three column scopes (one stack, one PVC, full node) on the cell's
 // machine.
-func newMetricWorkload(m paper.Metric) *Spec {
+func NewMetricCell(m paper.Metric) *Spec {
 	return New(MetricSlug(m),
 		fmt.Sprintf("Table II row: %s", m),
 		fmt.Sprintf("metric=%s scopes=stack,pvc,node", m),
@@ -111,8 +111,8 @@ func newMetricWorkload(m paper.Metric) *Spec {
 		})
 }
 
-// newP2PWorkload wraps the Table III stack-to-stack benchmark (E6).
-func newP2PWorkload() *Spec {
+// NewP2PCell wraps the Table III stack-to-stack benchmark (E6).
+func NewP2PCell() *Spec {
 	return New("p2p",
 		"Table III: stack-to-stack point-to-point bandwidth",
 		fmt.Sprintf("msg=%v", microbench.TransferSize),
@@ -148,12 +148,12 @@ func newP2PWorkload() *Spec {
 // range; the registry's "lats" entry uses the paper's default range. The
 // range is part of the workload's parameters, so differently-ranged
 // instances memoize independently in the runner.
-func NewLats(lo, hi units.Bytes) *Spec { return newLatsWorkload(lo, hi) }
+func NewLats(lo, hi units.Bytes) *Spec { return NewLatsCell(lo, hi) }
 
-// newLatsWorkload wraps the Figure 1 pointer-chase latency ladder (E7),
+// NewLatsCell wraps the Figure 1 pointer-chase latency ladder (E7),
 // including the per-level plateau values the paper's cross-architecture
 // ratios are stated over.
-func newLatsWorkload(lo, hi units.Bytes) *Spec {
+func NewLatsCell(lo, hi units.Bytes) *Spec {
 	return New("lats",
 		"Figure 1: memory access latency ladder (coalesced pointer chase)",
 		fmt.Sprintf("lo=%d hi=%d", int64(lo), int64(hi)),
@@ -184,9 +184,9 @@ func newLatsWorkload(lo, hi units.Bytes) *Spec {
 		})
 }
 
-// newP2PSweepWorkload wraps the X1 extension: the message-size sweep
+// NewP2PSweepCell wraps the X1 extension: the message-size sweep
 // extending Table III down to latency-bound messages, per path kind.
-func newP2PSweepWorkload() *Spec {
+func NewP2PSweepCell() *Spec {
 	kinds := []struct {
 		name string
 		kind topology.PathKind
@@ -235,9 +235,9 @@ func newP2PSweepWorkload() *Spec {
 // fmaSweepWorks are the launch sizes of the X18 kernel-size sweep.
 var fmaSweepWorks = []float64{1e6, 1e7, 1e8, 1e9, 1e10, 1e11, 1e12}
 
-// newFMASweepWorkload wraps the X18 extension: the launch-overhead →
+// NewFMASweepCell wraps the X18 extension: the launch-overhead →
 // saturation knee of the FMA chain on one stack.
-func newFMASweepWorkload() *Spec {
+func NewFMASweepCell() *Spec {
 	return New("fma-sweep",
 		"X18: FMA-chain kernel-size sweep (launch overhead to saturation)",
 		"prec=fp64 works=1e6..1e12",

@@ -18,12 +18,12 @@ const (
 	cloverScalingSteps = 3
 )
 
-// newCloverScalingWorkload wraps the decomposed CloverLeaf weak-scaling
+// NewCloverScalingCell wraps the decomposed CloverLeaf weak-scaling
 // breakdown (X3) as a registry workload. Unlike the analytic Table VI
 // FOM rows it drives the discrete-event machine it is handed, so a
 // traced run of this cell shows the full timeline: hydro kernels per
 // stack, halo-exchange flows, and the allreduce fan-in.
-func newCloverScalingWorkload() *Spec {
+func NewCloverScalingCell() *Spec {
 	return New("clover-scaling",
 		"X3: decomposed CloverLeaf weak scaling with MPI-overhead breakdown",
 		fmt.Sprintf("edge=%d steps=%d ranks=node", cloverScalingEdge, cloverScalingSteps),

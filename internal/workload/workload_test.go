@@ -3,7 +3,6 @@ package workload
 import (
 	"context"
 	"errors"
-	"fmt"
 	"testing"
 
 	"pvcsim/internal/expected"
@@ -11,41 +10,6 @@ import (
 	"pvcsim/internal/paper"
 	"pvcsim/internal/topology"
 )
-
-func TestDefaultRegistryContents(t *testing.T) {
-	reg := DefaultRegistry()
-	// 14 Table II metrics + p2p + lats + 6 FOM workloads + p2p-sweep +
-	// fma-sweep + minibude-sweep + energy + clover-scaling.
-	if got, want := reg.Len(), 14+1+1+6+5; got != want {
-		t.Fatalf("registry has %d workloads, want %d: %v", got, want, reg.Names())
-	}
-	for _, m := range paper.TableIIMetrics() {
-		w, ok := reg.Get(MetricSlug(m))
-		if !ok {
-			t.Fatalf("metric %s not registered", m)
-		}
-		if len(w.Systems()) != 2 {
-			t.Errorf("%s: systems %v, want the two PVC systems", m, w.Systems())
-		}
-	}
-	for _, pw := range paper.Workloads() {
-		name, ok := FOMName(pw)
-		if !ok {
-			t.Fatalf("no registry name for %s", pw)
-		}
-		if _, ok := reg.Get(name); !ok {
-			t.Fatalf("workload %s not registered", name)
-		}
-	}
-	// Registration order is stable and Names matches it.
-	names := reg.Names()
-	if names[0] != MetricSlug(paper.TableIIMetrics()[0]) {
-		t.Errorf("first workload = %q, want first Table II metric", names[0])
-	}
-	if got := len(reg.SortedNames()); got != reg.Len() {
-		t.Errorf("SortedNames has %d entries, want %d", got, reg.Len())
-	}
-}
 
 func TestRegistryDuplicate(t *testing.T) {
 	reg := NewRegistry()
@@ -177,11 +141,4 @@ func TestFOMNameRoundTrip(t *testing.T) {
 			t.Fatalf("no name for %s", w)
 		}
 	}
-}
-
-func ExampleRegistry() {
-	reg := DefaultRegistry()
-	w, _ := reg.Get("triad")
-	fmt.Println(w.Name(), len(w.Systems()))
-	// Output: triad 2
 }
