@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet build lint test race bench artifacts trace-demo profile-demo sweep-demo bench-record bench-check serve-demo smoke clean
+.PHONY: check vet build lint test race bench artifacts trace-demo profile-demo sweep-demo bench-record bench-check lane-parity serve-demo smoke clean
 
 check: vet build lint race
 
@@ -64,15 +64,23 @@ sweep-demo: build
 
 # Append today's bench record (the six Table V/VI FOM workloads) to
 # BENCH_<date>.json — the simulator's own performance trajectory.
+# -lane-jobs 0 lets each node simulation use the event-lane pool on top
+# of the cross-cell jobs; the record stores the resolved worker count.
 bench-record: build
-	$(GO) run ./cmd/pvcprof bench -jobs 0
+	$(GO) run ./cmd/pvcprof bench -jobs 0 -lane-jobs 0
 
 # Regression gate: run the bench set now and diff it against the
 # committed baseline. Simulated FOM drift hard-fails (exact tolerance);
-# wall-clock drift only warns.
+# wall-clock drift only warns — lane workers may only move wall time.
 bench-check: build
-	$(GO) run ./cmd/pvcprof bench -jobs 0 -out bench-current.json
+	$(GO) run ./cmd/pvcprof bench -jobs 0 -lane-jobs 0 -out bench-current.json
 	$(GO) run ./cmd/pvcprof diff BENCH_baseline.json bench-current.json
+
+# Lane-kernel correctness sweep under the race detector: sampled sweep
+# cells must export byte-identical metrics/trace/profile for every lane
+# partition × worker count, with identical deadlock diagnostics.
+lane-parity: build
+	$(GO) test -race -run 'TestLaneParity' ./internal/sweep/
 
 # Boot the pvcd simulation service in the foreground (Ctrl-C drains and
 # exits). Drive it with curl: POST /v1/runs, stream /v1/runs/{id}/events

@@ -24,6 +24,7 @@ import (
 	"pvcsim/internal/paper"
 	"pvcsim/internal/perfmodel"
 	"pvcsim/internal/runner"
+	"pvcsim/internal/sim"
 	"pvcsim/internal/sweep"
 	"pvcsim/internal/topology"
 	"pvcsim/internal/units"
@@ -139,6 +140,25 @@ func BenchmarkTableVI_MiniQMC(b *testing.B)    { benchTableVI(b, "miniqmc") }
 func BenchmarkTableVI_RIMP2(b *testing.B)      { benchTableVI(b, "minigamess") }
 func BenchmarkTableVI_OpenMC(b *testing.B)     { benchTableVI(b, "openmc") }
 func BenchmarkTableVI_HACC(b *testing.B)       { benchTableVI(b, "hacc") }
+
+// --- Event lanes: the same full-node mini-app cells under a serial
+// lane pool vs 4 lane workers. The laneparity sweep proves the exports
+// are byte-identical either way; these benches measure the wall-time
+// side — the only thing lane workers are allowed to change. On a
+// multi-core host the Workers4 variants are the speedup claim; on one
+// core they bound the worker-pool overhead instead. ---
+
+func benchLaneWorkers(b *testing.B, workers int, names ...string) {
+	b.Helper()
+	sim.SetDefaultWorkers(workers)
+	defer sim.SetDefaultWorkers(1)
+	benchCells(b, 1, registryCells(b, pvcPair, names...))
+}
+
+func BenchmarkLane_CloverLeafSerial(b *testing.B)   { benchLaneWorkers(b, 1, "cloverleaf") }
+func BenchmarkLane_CloverLeafWorkers4(b *testing.B) { benchLaneWorkers(b, 4, "cloverleaf") }
+func BenchmarkLane_OpenMCSerial(b *testing.B)       { benchLaneWorkers(b, 1, "openmc") }
+func BenchmarkLane_OpenMCWorkers4(b *testing.B)     { benchLaneWorkers(b, 4, "openmc") }
 
 // --- Registry: the full study cell set, serial vs parallel, plus the
 // memo-cache hit path. ---

@@ -209,6 +209,7 @@ func runBench(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("pvcprof bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jobs := fs.Int("jobs", 1, "parallel simulation workers; 0 = all CPUs")
+	laneJobs := runner.LaneJobsFlag(fs)
 	label := fs.String("label", "", "free-form label stored in the record (e.g. a commit hash)")
 	date := fs.String("date", "", "record date as YYYY-MM-DD (default: today)")
 	out := fs.String("out", "", "bench file to append to (default: BENCH_<date>.json)")
@@ -225,6 +226,7 @@ func runBench(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "pvcprof bench: takes no positional arguments")
 		return 2
 	}
+	laneWorkers := runner.ApplyLaneJobs(*laneJobs, *jobs)
 	if *date == "" {
 		*date = time.Now().Format("2006-01-02")
 	}
@@ -256,9 +258,10 @@ func runBench(args []string, stdout, stderr io.Writer) int {
 		Label:  *label,
 		Sim:    map[string]float64{},
 		Wall: prof.WallStats{
-			RunMS: float64(wall) / float64(time.Millisecond),
-			Jobs:  *jobs,
-			Cells: len(cells),
+			RunMS:    float64(wall) / float64(time.Millisecond),
+			Jobs:     *jobs,
+			LaneJobs: laneWorkers,
+			Cells:    len(cells),
 		},
 	}
 	for _, res := range results {
@@ -284,7 +287,7 @@ func runBench(args []string, stdout, stderr io.Writer) int {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	fmt.Fprintf(stdout, "recorded %d simulated FOM(s) over %d cell(s) in %s (jobs=%d) -> %s\n",
-		len(names), len(cells), wall.Round(time.Millisecond), *jobs, *out)
+	fmt.Fprintf(stdout, "recorded %d simulated FOM(s) over %d cell(s) in %s (jobs=%d, lane-jobs=%d) -> %s\n",
+		len(names), len(cells), wall.Round(time.Millisecond), *jobs, laneWorkers, *out)
 	return 0
 }

@@ -43,21 +43,27 @@ func main() {
 		MemBytes: 3 * 805 * units.MB, // two loads + one store of 805 MB
 		Kind:     perfmodel.KindStream,
 	}
-	var makespan units.Seconds
-	for _, id := range []topology.StackID{{GPU: 0, Stack: 0}, {GPU: 0, Stack: 1}} {
+	ids := []topology.StackID{{GPU: 0, Stack: 0}, {GPU: 0, Stack: 1}}
+	finishes := make([]units.Seconds, len(ids))
+	for i, id := range ids {
 		st, err := machine.Stack(id)
 		if err != nil {
 			log.Fatal(err)
 		}
+		slot := i
 		machine.Go("triad", func(p *sim.Proc) {
 			st.LaunchKernel(p, triad)
-			if p.Now() > makespan {
-				makespan = p.Now()
-			}
+			finishes[slot] = p.Now()
 		})
 	}
 	if err := machine.Run(); err != nil {
 		log.Fatal(err)
+	}
+	var makespan units.Seconds
+	for _, t := range finishes {
+		if t > makespan {
+			makespan = t
+		}
 	}
 	bw := units.BandwidthOf(2*triad.MemBytes, makespan)
 	fmt.Printf("one PVC triad: %v (paper: 2 TB/s)\n", bw)

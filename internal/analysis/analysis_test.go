@@ -118,6 +118,9 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		// wallClockAllowed, keeping the allowlist honest.
 		{dir: "walltime", asPath: "pvcsim/internal/telemetry/sim/fixture", noWants: true},
 		{dir: "maprange", asPath: "pvcsim/internal/report/fixture"},
+		// Schedule-sensitive sites: admitting events/procs from a map
+		// range leaks iteration order into the lane mailbox merge.
+		{dir: "lanemerge", asPath: "pvcsim/internal/fabric/lanefixture"},
 		// The sweep engine is simulation territory: expansion must be
 		// wall-clock-free and must never let map order pick cell order.
 		{dir: "sweepdet", asPath: "pvcsim/internal/sweep/fixture"},

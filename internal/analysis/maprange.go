@@ -17,6 +17,16 @@ var outputMethods = map[string]bool{
 	"Encode": true, "Render": true, "WriteAll": true,
 }
 
+// scheduleMethods are simulation scheduling sinks: Engine.Schedule
+// enqueues a future event, Signal.Fire wakes waiters, and Go/GoOn admit
+// new processes. Each stamps an admission sequence number the lane
+// mailboxes use to break time ties when merging, so calling one from a
+// map-range body bakes iteration order into the event schedule itself —
+// unlike a slice, that order can never be repaired by a later sort.
+var scheduleMethods = map[string]bool{
+	"Schedule": true, "Fire": true, "Go": true, "GoOn": true,
+}
+
 // writerName matches local helpers whose name says they produce output
 // (writeChart, renderRow, emitCSV, ...): calling one from inside a
 // map-range body leaks iteration order even though the stream write
@@ -39,7 +49,11 @@ var sortFuncs = map[string]bool{
 //     directly into a stream;
 //   - an append to a slice declared outside the loop with no sort of
 //     that slice later in the same block — the standard collect-keys
-//     idiom is fine precisely because of its trailing sort.Strings.
+//     idiom is fine precisely because of its trailing sort.Strings;
+//   - a scheduling call (Schedule/Fire/Go/GoOn) inside the body — the
+//     order escaped into the event admission sequence, which the
+//     parallel lanes' mailbox merge treats as a tiebreaker, so the
+//     simulated results themselves become run-to-run nondeterministic.
 var MapRange = &Analyzer{
 	Name: "maprange",
 	Doc:  "flag map iteration whose order reaches a slice or output stream unsorted",
@@ -84,6 +98,10 @@ func checkMapRange(p *Pass, rng *ast.RangeStmt, stack []ast.Node) {
 				p.ReportFixf(call.Pos(),
 					"collect the keys, sort them, and iterate the sorted slice",
 					"%s inside a range over a map writes output in nondeterministic order", fn.Sel.Name)
+			} else if scheduleMethods[fn.Sel.Name] {
+				p.ReportFixf(call.Pos(),
+					"collect the targets into a slice, sort it, then schedule from the sorted slice",
+					"%s inside a range over a map admits simulation events in nondeterministic order; lane mailboxes merge by admission sequence, so no later sort can repair it", fn.Sel.Name)
 			}
 		}
 		return true

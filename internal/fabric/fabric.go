@@ -44,6 +44,7 @@ type Flow struct {
 	cs        []*Constraint
 	done      *sim.Signal
 	finished  bool
+	owner     sim.LaneID    // the network's lane; Wait migrates there first
 	seq       uint64        // admission order, breaks finish-order ties
 	size      float64       // total bytes, for the recorded span
 	start     units.Seconds // when the flow entered the network
@@ -62,9 +63,15 @@ func (f *Flow) Remaining() units.Bytes { return units.Bytes(f.remaining) }
 // Rate returns the flow's current share in bytes/s.
 func (f *Flow) Rate() units.ByteRate { return units.ByteRate(f.rate) }
 
-// Network manages flows over a set of constraints on one engine.
+// Network manages flows over a set of constraints on one engine. The
+// network's state — constraints, flow set, rates — lives on the engine's
+// coordination lane (lane 0): every blocking entry point migrates the
+// calling process there, and the non-blocking Start variants must already
+// be called from lane-0 context (mpirt and the gpusim memcpy paths
+// migrate before routing into them).
 type Network struct {
 	eng     *sim.Engine
+	lane    sim.LaneID
 	flows   map[*Flow]struct{}
 	lastT   units.Seconds
 	gen     uint64 // invalidates stale completion events
@@ -72,6 +79,18 @@ type Network struct {
 	epsilon float64
 	obs     obs.Recorder
 }
+
+// now is the network's clock: its own lane's time, never another lane's
+// (which may be further ahead mid-round).
+func (n *Network) now() units.Seconds { return n.eng.LaneNow(n.lane) }
+
+// Lane returns the lane the network's state lives on.
+func (n *Network) Lane() sim.LaneID { return n.lane }
+
+// Enter migrates the process to the network's lane; model code must call
+// it (directly or via a blocking transfer) before touching network or
+// other lane-0 state.
+func (n *Network) Enter(p *sim.Proc) { p.MoveTo(n.lane) }
 
 // Observe attaches a recorder; every completed flow is emitted as a
 // span and admitted flows are counted (fabric.flows, fabric.bytes).
@@ -82,7 +101,7 @@ func (n *Network) Observe(r obs.Recorder) { n.obs = r }
 func (n *Network) admit(f *Flow) {
 	n.seq++
 	f.seq = n.seq
-	f.start = n.eng.Now()
+	f.start = n.now()
 	for _, c := range f.cs {
 		c.flows[f] = struct{}{}
 	}
@@ -120,11 +139,12 @@ func (n *Network) MustConstraint(name string, cap units.ByteRate) *Constraint {
 // and software setup time), matching how a single message experiences it.
 func (n *Network) Transfer(p *sim.Proc, name string, size units.Bytes, latency units.Seconds, cs ...*Constraint) {
 	if latency > 0 {
-		p.Hold(latency)
+		p.Hold(latency) // wire latency burns on the caller's own lane
 	}
 	if size <= 0 {
 		return
 	}
+	n.Enter(p)
 	f := n.start(name, "", size, cs)
 	if f.finished {
 		return
@@ -145,11 +165,11 @@ func (n *Network) Start(name string, size units.Bytes, latency units.Seconds, cs
 // the only record of the transfer).
 func (n *Network) StartBound(name, bound string, size units.Bytes, latency units.Seconds, cs ...*Constraint) *Flow {
 	if size <= 0 && latency <= 0 {
-		f := &Flow{name: name, bound: bound, done: sim.NewSignal(n.eng), finished: true}
+		f := &Flow{name: name, bound: bound, owner: n.lane, done: n.doneSignal(name), finished: true}
 		return f
 	}
 	if latency > 0 {
-		f := &Flow{name: name, bound: bound, remaining: float64(size), size: float64(size), cs: cs, done: sim.NewSignal(n.eng)}
+		f := &Flow{name: name, bound: bound, owner: n.lane, remaining: float64(size), size: float64(size), cs: cs, done: n.doneSignal(name)}
 		n.eng.Schedule(latency, func() {
 			if f.remaining <= 0 {
 				n.completePending(f)
@@ -170,18 +190,26 @@ func (n *Network) completePending(f *Flow) {
 	f.done.Fire()
 }
 
-// Wait blocks the process until the flow completes.
+// Wait blocks the process until the flow completes, migrating it to the
+// network's lane first (the finished bit is lane-0 state).
 func (f *Flow) Wait(p *sim.Proc) {
+	p.MoveTo(f.owner)
 	if f.finished {
 		return
 	}
 	f.done.Wait(p)
 }
 
+// doneSignal builds a flow's completion signal, named so deadlock
+// diagnostics can report "blocked: 1 on signal flow h2d:0".
+func (n *Network) doneSignal(name string) *sim.Signal {
+	return sim.NewNamedSignal(n.eng, "flow "+name)
+}
+
 // start registers a flow and returns it; flows with no constraints
 // complete instantly.
 func (n *Network) start(name, bound string, size units.Bytes, cs []*Constraint) *Flow {
-	f := &Flow{name: name, bound: bound, remaining: float64(size), size: float64(size), cs: cs, done: sim.NewSignal(n.eng)}
+	f := &Flow{name: name, bound: bound, owner: n.lane, remaining: float64(size), size: float64(size), cs: cs, done: n.doneSignal(name)}
 	if len(cs) == 0 {
 		f.finished = true
 		return f
@@ -195,7 +223,7 @@ func (n *Network) start(name, bound string, size units.Bytes, cs []*Constraint) 
 // advance progresses all active flows to the current time at their
 // previously computed rates.
 func (n *Network) advance() {
-	now := n.eng.Now()
+	now := n.now()
 	dt := float64(now - n.lastT)
 	n.lastT = now
 	if dt <= 0 {
@@ -257,7 +285,7 @@ func (n *Network) reschedule() {
 		if math.IsInf(soonest, 1) {
 			return
 		}
-		now := float64(n.eng.Now())
+		now := float64(n.now())
 		resolution := math.Nextafter(now, math.Inf(1)) - now
 		if soonest >= resolution {
 			n.gen++
@@ -289,7 +317,7 @@ func (n *Network) finish(f *Flow) {
 	delete(n.flows, f)
 	obs.Emit(n.obs, obs.Span{
 		Name: f.name, Cat: "flow", GPU: -1, Stack: -1,
-		Start: f.start, End: n.eng.Now(), Bytes: units.Bytes(f.size),
+		Start: f.start, End: n.now(), Bytes: units.Bytes(f.size),
 		Bound: f.bound,
 	})
 	f.done.Fire()

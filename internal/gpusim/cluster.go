@@ -22,14 +22,22 @@ type Cluster struct {
 	Net  *fabric.Network
 	Spec *topology.ClusterSpec
 
-	nodes  []*Machine
-	nics   []*fabric.Link
-	global *fabric.Constraint
-	obs    obs.Recorder
+	nodes   []*Machine
+	nics    []*fabric.Link
+	global  *fabric.Constraint
+	sink    obs.Recorder
+	laneSet *obs.LaneSet // coordination-lane buffer (NIC hops, fabric flows)
 }
 
-// NewCluster builds a cluster for the spec.
+// NewCluster builds a cluster for the spec with the process-wide lane
+// partition applied per node.
 func NewCluster(spec *topology.ClusterSpec) (*Cluster, error) {
+	return NewClusterWithLanes(spec, LaneSharding())
+}
+
+// NewClusterWithLanes is NewCluster with an explicit per-node lane
+// partition (see NewWithLanes for the encoding).
+func NewClusterWithLanes(spec *topology.ClusterSpec, shards int) (*Cluster, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -38,7 +46,7 @@ func NewCluster(spec *topology.ClusterSpec) (*Cluster, error) {
 	c := &Cluster{Eng: eng, Net: net, Spec: spec}
 	gpusPerNode := spec.Node.GPUCount
 	for i := 0; i < spec.NodeCount; i++ {
-		m, err := newOn(eng, net, spec.Node, fmt.Sprintf("node%d/", i), i*gpusPerNode)
+		m, err := newOn(eng, net, spec.Node, fmt.Sprintf("node%d/", i), i*gpusPerNode, shards)
 		if err != nil {
 			return nil, err
 		}
@@ -57,13 +65,30 @@ func (c *Cluster) Nodes() int { return len(c.nodes) }
 func (c *Cluster) Node(i int) *Machine { return c.nodes[i] }
 
 // Observe attaches a recorder to the cluster and every node machine.
-// Pass nil to detach.
+// The shared network records through the cluster's coordination-lane
+// buffer (node machines skip their own network wiring when cluster
+// owned); Run merges all buffers. Pass nil to detach.
 func (c *Cluster) Observe(r obs.Recorder) {
-	c.obs = r
-	c.Net.Observe(r)
+	c.sink = r
+	c.laneSet = nil
+	if r != nil {
+		c.laneSet = obs.NewLaneSet(r)
+	}
+	c.Net.Observe(c.netBuf())
 	for _, m := range c.nodes {
 		m.Observe(r)
 	}
+}
+
+// netBuf is the cluster's coordination-lane buffer (nil when not
+// observed): the shared fabric network and the remote-transfer hop
+// counters record into it, always from the network's own lane.
+func (c *Cluster) netBuf() obs.Recorder {
+	if c.laneSet == nil {
+		return nil
+	}
+	lane := c.Net.Lane()
+	return c.laneSet.Lane(0, func() units.Seconds { return c.Eng.LaneNow(lane) })
 }
 
 // remotePath composes the inter-node route between two nodes: source
@@ -87,16 +112,27 @@ func (c *Cluster) StartRemote(src int, from topology.StackID, dst int, to topolo
 	if src == dst {
 		return nil, fmt.Errorf("gpusim: nodes %d and %d are the same; use StartD2D", src, dst)
 	}
-	if c.obs != nil {
+	if b := c.netBuf(); b != nil {
 		// NIC-to-NIC hops: every switch traversal plus the two ends.
-		c.obs.Add("fabric.hops", float64(c.Spec.Network.Hops+2))
+		b.Add("fabric.hops", float64(c.Spec.Network.Hops+2))
 	}
 	name := fmt.Sprintf("n2n:n%d/%v->n%d/%v", src, from, dst, to)
 	return c.Net.StartPath(name, prof.BoundFabricNode, size, c.remotePath(src, dst)), nil
 }
 
-// Run drives the simulation to completion.
-func (c *Cluster) Run() error { return c.Eng.Run() }
+// Run drives the simulation to completion, then merges every node's and
+// the cluster's own per-lane buffers into the attached recorder (even on
+// error, so partial runs keep their observations).
+func (c *Cluster) Run() error {
+	err := c.Eng.Run()
+	for _, m := range c.nodes {
+		m.flushObs()
+	}
+	if c.laneSet != nil {
+		c.laneSet.Flush()
+	}
+	return err
+}
 
 // Go starts a process on the cluster's engine.
 func (c *Cluster) Go(name string, body func(*sim.Proc)) *sim.Proc {

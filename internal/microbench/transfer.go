@@ -31,26 +31,26 @@ func (s *Suite) Triad(n int) (float64, error) {
 	}
 	stacks := m.Stacks()[:n]
 	totalBytes := units.Bytes(0)
-	var makespan units.Seconds
+	// Per-proc finish slots: the kernels run on independent event lanes,
+	// so a shared running max would race.
+	finishes := make([]units.Seconds, len(stacks))
 	prof := perfmodel.Profile{
 		Name:     "triad",
 		MemBytes: 3 * TriadArrayBytes, // two loads + one store of 805 MB
 		Kind:     perfmodel.KindStream,
 	}
-	for _, st := range stacks {
-		stc := st
+	for i, st := range stacks {
+		stc, slot := st, i
 		totalBytes += prof.MemBytes
 		m.Go("triad", func(p *sim.Proc) {
 			stc.LaunchKernel(p, prof)
-			if p.Now() > makespan {
-				makespan = p.Now()
-			}
+			finishes[slot] = p.Now()
 		})
 	}
 	if err := m.Run(); err != nil {
 		return 0, err
 	}
-	return float64(units.BandwidthOf(totalBytes, makespan)) / 1e12, nil
+	return float64(units.BandwidthOf(totalBytes, maxSeconds(finishes))) / 1e12, nil
 }
 
 // PCIe runs the host-device transfer benchmark across n subdevices and
@@ -62,28 +62,28 @@ func (s *Suite) PCIe(dir Direction, n int) (float64, error) {
 		return 0, err
 	}
 	stacks := m.Stacks()[:n]
-	var makespan units.Seconds
+	finishes := make([]units.Seconds, 2*len(stacks))
 	totalBytes := units.Bytes(0)
-	track := func(p *sim.Proc) {
-		if p.Now() > makespan {
-			makespan = p.Now()
-		}
-	}
+	slot := 0
 	for _, st := range stacks {
 		stc := st
 		if dir == DirH2D || dir == DirBidir {
 			totalBytes += TransferSize
-			m.Go("h2d", func(p *sim.Proc) { stc.MemcpyH2D(p, TransferSize); track(p) })
+			i := slot
+			slot++
+			m.Go("h2d", func(p *sim.Proc) { stc.MemcpyH2D(p, TransferSize); finishes[i] = p.Now() })
 		}
 		if dir == DirD2H || dir == DirBidir {
 			totalBytes += TransferSize
-			m.Go("d2h", func(p *sim.Proc) { stc.MemcpyD2H(p, TransferSize); track(p) })
+			i := slot
+			slot++
+			m.Go("d2h", func(p *sim.Proc) { stc.MemcpyD2H(p, TransferSize); finishes[i] = p.Now() })
 		}
 	}
 	if err := m.Run(); err != nil {
 		return 0, err
 	}
-	return float64(units.BandwidthOf(totalBytes, makespan)) / 1e9, nil
+	return float64(units.BandwidthOf(totalBytes, maxSeconds(finishes))) / 1e9, nil
 }
 
 // P2PResult mirrors the Table III layout in GB/s.
@@ -206,7 +206,7 @@ func (s *Suite) runPairs(pairs []pair, bidir bool) (float64, error) {
 	if bidir {
 		totalBytes *= 2
 	}
-	var makespan units.Seconds
+	finishes := make([]units.Seconds, comm.Size())
 	err = comm.Spawn(func(p *sim.Proc, r *mpirt.Rank) {
 		if pr, isSender := role[r.Rank()]; isSender {
 			dst := rankOf[pr.dst]
@@ -219,9 +219,7 @@ func (s *Suite) runPairs(pairs []pair, bidir bool) (float64, error) {
 					panic(fmt.Sprintf("send: %v", err))
 				}
 			}
-			if p.Now() > makespan {
-				makespan = p.Now()
-			}
+			finishes[r.Rank()] = p.Now()
 			return
 		}
 		if src, isRecv := peerOf[r.Rank()]; isRecv {
@@ -234,13 +232,22 @@ func (s *Suite) runPairs(pairs []pair, bidir bool) (float64, error) {
 					panic(fmt.Sprintf("recv: %v", err))
 				}
 			}
-			if p.Now() > makespan {
-				makespan = p.Now()
-			}
+			finishes[r.Rank()] = p.Now()
 		}
 	})
 	if err != nil {
 		return 0, err
 	}
-	return float64(units.BandwidthOf(totalBytes, makespan)) / 1e9, nil
+	return float64(units.BandwidthOf(totalBytes, maxSeconds(finishes))) / 1e9, nil
+}
+
+// maxSeconds returns the largest element (the slowest finisher).
+func maxSeconds(ts []units.Seconds) units.Seconds {
+	var m units.Seconds
+	for _, t := range ts {
+		if t > m {
+			m = t
+		}
+	}
+	return m
 }

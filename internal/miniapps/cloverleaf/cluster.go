@@ -53,7 +53,7 @@ func StrongScalingBreakdownOn(cl *gpusim.Cluster, place topology.Placement,
 		return w
 	}
 	var commTime units.Seconds
-	var finish units.Seconds
+	finishes := make([]units.Seconds, c.Size())
 	runErr := c.Spawn(func(p *sim.Proc, r *mpirt.Rank) {
 		kernelProf := perfmodel.Profile{
 			Name:      "hydro-step",
@@ -83,12 +83,10 @@ func StrongScalingBreakdownOn(cl *gpusim.Cluster, place topology.Placement,
 				commTime += p.Now() - t0
 			}
 		}
-		if p.Now() > finish {
-			finish = p.Now()
-		}
+		finishes[r.Rank()] = p.Now()
 	})
 	if runErr != nil {
 		return 0, 0, runErr
 	}
-	return finish, commTime, nil
+	return maxSeconds(finishes), commTime, nil
 }

@@ -207,7 +207,9 @@ func WeakScalingBreakdownOn(m *gpusim.Machine, n, edge, steps int) (total, comm 
 		Precision: 0,
 	}
 	var commTime units.Seconds
-	var finish units.Seconds
+	// Per-rank finish times: ranks run on independent event lanes, so a
+	// shared max would race; each rank writes only its own slot.
+	finishes := make([]units.Seconds, c.Size())
 	runErr := c.Spawn(func(p *sim.Proc, r *mpirt.Rank) {
 		for step := 0; step < steps; step++ {
 			r.Stack.LaunchKernel(p, kernelProf)
@@ -231,15 +233,24 @@ func WeakScalingBreakdownOn(m *gpusim.Machine, n, edge, steps int) (total, comm 
 				commTime += p.Now() - t0
 			}
 		}
-		if p.Now() > finish {
-			finish = p.Now()
-		}
+		finishes[r.Rank()] = p.Now()
 	})
 	if runErr != nil {
 		return 0, 0, runErr
 	}
-	return finish, commTime, nil
+	return maxSeconds(finishes), commTime, nil
 }
 
 // fieldsPerHalo is the number of exchanged field arrays per halo column.
 const fieldsPerHalo = 4
+
+// maxSeconds returns the largest element (the slowest rank's finish).
+func maxSeconds(ts []units.Seconds) units.Seconds {
+	var m units.Seconds
+	for _, t := range ts {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}

@@ -24,6 +24,7 @@ type Comm struct {
 	m       *gpusim.Machine // nil for cluster communicators
 	cl      *gpusim.Cluster // nil for single-node communicators
 	eng     *sim.Engine
+	lane    sim.LaneID // the fabric's lane; matcher state lives there
 	run     func() error
 	ranks   []*Rank
 	barrier *sim.Barrier
@@ -55,7 +56,7 @@ func NewComm(m *gpusim.Machine, nranks int) (*Comm, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Comm{m: m, eng: m.Eng, run: m.Run, barrier: sim.NewBarrier(m.Eng, nranks)}
+	c := &Comm{m: m, eng: m.Eng, lane: m.Net.Lane(), run: m.Run, barrier: sim.NewBarrier(m.Eng, nranks)}
 	for r := 0; r < nranks; r++ {
 		st, err := m.Stack(bindings[r].Stack)
 		if err != nil {
@@ -66,7 +67,7 @@ func NewComm(m *gpusim.Machine, nranks int) (*Comm, error) {
 			rank:    r,
 			Stack:   st,
 			Binding: bindings[r],
-			newMsg:  sim.NewSignal(m.Eng),
+			newMsg:  sim.NewNamedSignal(m.Eng, fmt.Sprintf("rank%d inbox", r)),
 		})
 	}
 	return c, nil
@@ -81,7 +82,7 @@ func NewClusterComm(cl *gpusim.Cluster, nranks int, place topology.Placement) (*
 	if err != nil {
 		return nil, err
 	}
-	c := &Comm{cl: cl, eng: cl.Eng, run: cl.Run, barrier: sim.NewBarrier(cl.Eng, nranks)}
+	c := &Comm{cl: cl, eng: cl.Eng, lane: cl.Net.Lane(), run: cl.Run, barrier: sim.NewBarrier(cl.Eng, nranks)}
 	for r := 0; r < nranks; r++ {
 		st, err := cl.Node(bindings[r].Node).Stack(bindings[r].Local.Stack)
 		if err != nil {
@@ -93,7 +94,7 @@ func NewClusterComm(cl *gpusim.Cluster, nranks int, place topology.Placement) (*
 			Node:    bindings[r].Node,
 			Stack:   st,
 			Binding: bindings[r].Local,
-			newMsg:  sim.NewSignal(cl.Eng),
+			newMsg:  sim.NewNamedSignal(cl.Eng, fmt.Sprintf("rank%d inbox", r)),
 		})
 	}
 	return c, nil
@@ -120,12 +121,13 @@ func (c *Comm) Machine() *gpusim.Machine { return c.m }
 // communicators).
 func (c *Comm) Cluster() *gpusim.Cluster { return c.cl }
 
-// Spawn starts one simulation process per rank running body, then runs
-// the simulation to completion.
+// Spawn starts one simulation process per rank running body — each rank
+// on its stack's event lane, so independent ranks simulate concurrently
+// — then runs the simulation to completion.
 func (c *Comm) Spawn(body func(p *sim.Proc, r *Rank)) error {
 	for _, r := range c.ranks {
 		rr := r
-		c.eng.Go(fmt.Sprintf("rank%d", rr.rank), func(p *sim.Proc) {
+		c.eng.GoOn(rr.Stack.Lane(), fmt.Sprintf("rank%d", rr.rank), func(p *sim.Proc) {
 			body(p, rr)
 		})
 	}
@@ -150,11 +152,14 @@ type Request struct {
 
 // Isend starts a non-blocking send of size device bytes to rank dst with
 // the given tag, modeling MPICH's eager GPU path: the wire transfer starts
-// immediately and the matching receive completes when it drains.
-func (r *Rank) Isend(dst, tag int, size units.Bytes) (*Request, error) {
+// immediately and the matching receive completes when it drains. The
+// calling process migrates to the fabric's lane first — inboxes and the
+// flow network are coordination-lane state.
+func (r *Rank) Isend(p *sim.Proc, dst, tag int, size units.Bytes) (*Request, error) {
 	if dst < 0 || dst >= len(r.comm.ranks) {
 		return nil, fmt.Errorf("mpirt: Isend to invalid rank %d", dst)
 	}
+	p.MoveTo(r.comm.lane)
 	peer := r.comm.ranks[dst]
 	flow, err := r.comm.startTransfer(r, peer, size)
 	if err != nil {
@@ -207,6 +212,7 @@ func (req *Request) Wait(p *sim.Proc) {
 		req.flow.Wait(p)
 		return
 	}
+	p.MoveTo(req.rank.comm.lane) // the inbox is coordination-lane state
 	for req.matched == nil {
 		if m := req.findMatch(); m != nil {
 			req.matched = m
@@ -226,7 +232,7 @@ func WaitAll(p *sim.Proc, reqs ...*Request) {
 
 // Send is a blocking send.
 func (r *Rank) Send(p *sim.Proc, dst, tag int, size units.Bytes) error {
-	req, err := r.Isend(dst, tag, size)
+	req, err := r.Isend(p, dst, tag, size)
 	if err != nil {
 		return err
 	}
@@ -247,7 +253,7 @@ func (r *Rank) Recv(p *sim.Proc, src, tag int) error {
 // Sendrecv overlaps a send to dst with a receive from src, the pattern of
 // the bidirectional bandwidth microbenchmark.
 func (r *Rank) Sendrecv(p *sim.Proc, dst, src, tag int, size units.Bytes) error {
-	sreq, err := r.Isend(dst, tag, size)
+	sreq, err := r.Isend(p, dst, tag, size)
 	if err != nil {
 		return err
 	}

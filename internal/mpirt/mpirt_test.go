@@ -51,7 +51,7 @@ func TestLocalPairUnidirectional(t *testing.T) {
 		start := p.Now()
 		switch r.Rank() {
 		case 0:
-			req, err := r.Isend(1, 7, size)
+			req, err := r.Isend(p, 1, 7, size)
 			if err != nil {
 				t.Error(err)
 				return
@@ -174,7 +174,7 @@ func TestSendToInvalidRank(t *testing.T) {
 		if r.Rank() != 0 {
 			return
 		}
-		if _, err := r.Isend(5, 0, 100); err == nil {
+		if _, err := r.Isend(p, 5, 0, 100); err == nil {
 			t.Error("Isend to rank 5 of 2 should fail")
 		}
 		if _, err := r.Irecv(9, 0); err == nil {
@@ -293,7 +293,7 @@ func TestCommunicationComputationOverlap(t *testing.T) {
 	err := c.Spawn(func(p *sim.Proc, r *Rank) {
 		switch r.Rank() {
 		case 0:
-			req, _ := r.Isend(1, 1, size)
+			req, _ := r.Isend(p, 1, 1, size)
 			p.Hold(0.1) // long compute during transfer
 			req.Wait(p)
 			total = p.Now()

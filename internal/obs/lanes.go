@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"sort"
+
+	"pvcsim/internal/units"
+)
+
+// laneAdd is one buffered counter increment, stamped with the emitting
+// lane's virtual time so the merged application order is canonical.
+type laneAdd struct {
+	t     units.Seconds
+	name  string
+	delta float64
+}
+
+// LaneBuffer is a Recorder that accumulates one event lane's emissions
+// privately. Each simulation lane writes only its own buffer, so
+// concurrent lanes never contend on the cell's Trace; the owning
+// LaneSet merges all buffers into the sink in a deterministic order at
+// the end of a run.
+type LaneBuffer struct {
+	now   func() units.Seconds
+	spans []Span
+	adds  []laneAdd
+}
+
+// Span implements Recorder.
+func (b *LaneBuffer) Span(s Span) { b.spans = append(b.spans, s) }
+
+// Add implements Recorder. The increment is stamped with the lane's
+// current virtual time; within one lane timestamps are nondecreasing.
+func (b *LaneBuffer) Add(name string, delta float64) {
+	b.adds = append(b.adds, laneAdd{t: b.now(), name: name, delta: delta})
+}
+
+// LaneSet owns the per-lane buffers of one simulated machine (or
+// cluster) and flushes them into the sink recorder in merged lane
+// order. The merge contract is what keeps multi-lane metrics
+// byte-identical to a serial run: counter increments are applied
+// sorted by (virtual time, lane index, emission order), which for a
+// single lane is exactly the serial emission order, so per-counter
+// float accumulation happens in the same sequence whatever the lane
+// count or worker count.
+type LaneSet struct {
+	sink Recorder
+	bufs []*LaneBuffer
+}
+
+// NewLaneSet returns a lane set feeding the sink.
+func NewLaneSet(sink Recorder) *LaneSet { return &LaneSet{sink: sink} }
+
+// Lane returns the buffer for lane index i, creating buffers up to i on
+// first use. The now function must report the owning lane's virtual
+// clock.
+func (s *LaneSet) Lane(i int, now func() units.Seconds) *LaneBuffer {
+	for len(s.bufs) <= i {
+		s.bufs = append(s.bufs, nil)
+	}
+	if s.bufs[i] == nil {
+		s.bufs[i] = &LaneBuffer{now: now}
+	}
+	return s.bufs[i]
+}
+
+// Flush drains every buffer into the sink — spans concatenated in lane
+// order (their export order is canonicalized downstream by
+// Trace.Spans), counter increments merged by (time, lane, emission
+// order) — and resets the buffers for the next run.
+func (s *LaneSet) Flush() {
+	if s.sink == nil {
+		for _, b := range s.bufs {
+			if b != nil {
+				b.spans, b.adds = nil, nil
+			}
+		}
+		return
+	}
+	var adds []laneAdd
+	for _, b := range s.bufs {
+		if b == nil {
+			continue
+		}
+		for _, sp := range b.spans {
+			s.sink.Span(sp)
+		}
+		adds = append(adds, b.adds...)
+		b.spans, b.adds = nil, nil
+	}
+	// Each lane's increments are already nondecreasing in t, and they
+	// were concatenated in lane order, so a stable sort on t alone
+	// yields the (t, lane, emission order) merge.
+	sort.SliceStable(adds, func(i, j int) bool { return adds[i].t < adds[j].t })
+	for _, a := range adds {
+		s.sink.Add(a.name, a.delta)
+	}
+}

@@ -354,6 +354,24 @@ func (m *Model) timing(p Profile) (tComp, tMem, launch units.Seconds) {
 	} else {
 		computeRate = m.VectorRate(p.Kind, p.Precision)
 	}
+	return m.timingWith(p, computeRate)
+}
+
+// quietTiming is timing through the governor's side-effect-free peaks:
+// same numbers, no throttle-event emission, safe to call from any lane.
+func (m *Model) quietTiming(p Profile) (tComp, tMem, launch units.Seconds) {
+	engine := p.Engine
+	if engine != hw.MatrixEngine {
+		engine = hw.VectorEngine
+	}
+	computeRate := units.Rate(float64(m.Gov.SustainedPeakQuiet(engine, p.Precision)) *
+		m.Cal.Efficiency(m.Var, p.Kind, p.Precision))
+	return m.timingWith(p, computeRate)
+}
+
+// timingWith is the shared roofline arithmetic under a given compute
+// rate.
+func (m *Model) timingWith(p Profile, computeRate units.Rate) (tComp, tMem, launch units.Seconds) {
 	if p.Flops > 0 {
 		tComp = units.TimeToCompute(p.Flops, computeRate)
 	}
@@ -389,6 +407,35 @@ func (m *Model) SubdeviceTime(p Profile) units.Seconds {
 	return t + launch
 }
 
+// Priced is the outcome of pricing one kernel launch on a subdevice:
+// the modeled duration, the binding-resource attribution, and whether
+// the TDP governor pinned the clock below MaxClock for the launch's
+// pipeline. It carries everything the launch path needs to emit the
+// observability record itself.
+type Priced struct {
+	Time      units.Seconds // roofline max + launch overhead
+	Bound     string        // prof-taxonomy attribution tag
+	Throttled bool          // governed clock below MaxClock
+}
+
+// Price evaluates the profile like SubdeviceTime and Attribution
+// combined, but records nothing: no counters, no throttle events, no
+// profiler samples. It is the pricing path for concurrent event lanes
+// (gpusim.LaunchKernel), which buffer the equivalent emissions per lane
+// so merged output stays byte-identical to a serial run.
+func (m *Model) Price(p Profile) Priced {
+	tComp, tMem, launch := m.quietTiming(p)
+	t := tComp
+	if tMem > t {
+		t = tMem
+	}
+	return Priced{
+		Time:      t + launch,
+		Bound:     m.attributionFor(p, tComp, tMem),
+		Throttled: m.Gov.Throttled(p.Engine, p.Precision),
+	}
+}
+
 // Bound reports whether the profile is compute- or memory-bound on this
 // node ("compute" / "memory"), the classification Table V assigns to each
 // mini-app.
@@ -416,6 +463,12 @@ func (m *Model) Bound(p Profile) string {
 //   - Memory-bound otherwise: device-memory bandwidth ("hbm").
 func (m *Model) Attribution(p Profile) string {
 	tComp, tMem, _ := m.timing(p)
+	return m.attributionFor(p, tComp, tMem)
+}
+
+// attributionFor is the shared classification under precomputed
+// roofline terms.
+func (m *Model) attributionFor(p Profile, tComp, tMem units.Seconds) string {
 	switch {
 	case tComp <= 0 && tMem <= 0:
 		return prof.BoundLaunch

@@ -117,6 +117,15 @@ func (g *Governor) SustainedPeak(class hw.EngineClass, prec hw.Precision) units.
 	return g.dev.Sub.PeakRate(class, prec, g.ClockFor(class, prec))
 }
 
+// SustainedPeakQuiet is SustainedPeak without the throttle-event
+// emission — the side-effect-free path concurrent event lanes price
+// kernels through (the lane that owns the launch emits the equivalent
+// counters into its own buffer).
+func (g *Governor) SustainedPeakQuiet(class hw.EngineClass, prec hw.Precision) units.Rate {
+	f, _ := g.governedClock(hw.ClassOf(class, prec))
+	return g.dev.Sub.PeakRate(class, prec, f)
+}
+
 // BestSustainedPeak returns the higher of the vector and matrix sustained
 // peaks for the precision, together with the winning pipeline — the rate a
 // well-tuned GEMM targets.

@@ -11,9 +11,10 @@ import (
 // struct so it can never be confused with the simulated figures next to
 // it.
 type WallStats struct {
-	RunMS float64 `json:"run_ms"` // wall-clock duration of the bench run
-	Jobs  int     `json:"jobs"`   // runner parallelism the run used
-	Cells int     `json:"cells"`  // cells computed
+	RunMS    float64 `json:"run_ms"`              // wall-clock duration of the bench run
+	Jobs     int     `json:"jobs"`                // runner parallelism the run used
+	LaneJobs int     `json:"lane_jobs,omitempty"` // event-lane workers per simulated node
+	Cells    int     `json:"cells"`               // cells computed
 }
 
 // Record is one canonical bench entry: the simulated figures of merit

@@ -7,11 +7,13 @@ import (
 	"io"
 	"os"
 	"path"
+	"runtime"
 	"strings"
 
 	"pvcsim/internal/obs"
 	"pvcsim/internal/prof"
 	"pvcsim/internal/report"
+	"pvcsim/internal/sim"
 	"pvcsim/internal/topology"
 	"pvcsim/internal/workload"
 )
@@ -180,4 +182,31 @@ func RunNamed(ctx context.Context, out io.Writer, r *Runner, reg *workload.Regis
 		return t.CSV(out)
 	}
 	return t.Render(out)
+}
+
+// LaneJobsFlag registers the -lane-jobs flag shared by the command-line
+// tools: how many event lanes of one simulated node may burst
+// concurrently. 0 selects the auto heuristic (host parallelism divided
+// by the cross-cell job count); 1 executes lanes serially. Call
+// ApplyLaneJobs with the parsed value after flag parsing.
+func LaneJobsFlag(fs *flag.FlagSet) *int {
+	return fs.Int("lane-jobs", 0,
+		"concurrent event-lane workers per simulated node (wall time only, never simulated results); 0 = GOMAXPROCS divided by -jobs, 1 = serial")
+}
+
+// ApplyLaneJobs installs the process-wide lane worker default from the
+// parsed -lane-jobs and -jobs values: the explicit lane count when
+// positive, otherwise GOMAXPROCS shared across the cross-cell jobs
+// (crossJobs <= 0 meaning "all CPUs", like runner.New). It returns the
+// resolved worker count so callers can log or record it.
+func ApplyLaneJobs(laneJobs, crossJobs int) int {
+	n := laneJobs
+	if n <= 0 {
+		if crossJobs <= 0 {
+			crossJobs = runtime.NumCPU()
+		}
+		n = sim.AutoWorkers(crossJobs)
+	}
+	sim.SetDefaultWorkers(n)
+	return n
 }

@@ -1,0 +1,298 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"pvcsim/internal/units"
+)
+
+// laneScript runs a synthetic multi-lane model — per-lane compute procs
+// with deterministic pseudo-random holds, migrations to lane 0 for a
+// shared resource, and a barrier rendezvous — and returns the full
+// ordered event log plus the final clock. The same script must produce
+// the same log for every lane worker count.
+func laneScript(t *testing.T, lanes, workers int) (string, units.Seconds) {
+	t.Helper()
+	e := NewEngine()
+	e.SetWorkers(workers)
+	laneIDs := make([]LaneID, lanes)
+	for i := 1; i < lanes; i++ {
+		laneIDs[i] = e.NewLane()
+	}
+	res := NewResource(e, "host-dma", 2)
+	bar := NewBarrier(e, lanes)
+	var log []string
+	logf := func(format string, args ...any) { log = append(log, fmt.Sprintf(format, args...)) }
+	for i := 0; i < lanes; i++ {
+		id := i
+		rng := uint32(2654435761 * uint32(id+1)) // fixed per-proc LCG seed
+		next := func() units.Seconds {
+			rng = rng*1664525 + 1013904223
+			return units.Seconds(rng%97) / 16
+		}
+		e.GoOn(laneIDs[id], fmt.Sprintf("p%d", id), func(p *Proc) {
+			for step := 0; step < 5; step++ {
+				p.Hold(next())
+				res.Acquire(p) // migrates to lane 0
+				logf("p%d acq@%v", id, p.Now())
+				p.Hold(next() / 8)
+				res.Release()
+				p.MoveTo(laneIDs[id]) // back to the home lane
+				logf("p%d home@%v lane=%d", id, p.Now(), p.Lane())
+			}
+			bar.Arrive(p)
+			logf("p%d bar@%v", id, p.Now())
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("lanes=%d workers=%d: %v", lanes, workers, err)
+	}
+	return strings.Join(log, "\n"), e.Now()
+}
+
+// The heart of the determinism contract: the event order of a multi-lane
+// run is a fixed total order, independent of how many workers burst the
+// lanes concurrently.
+func TestLaneMatrixDeterminism(t *testing.T) {
+	for _, lanes := range []int{2, 4, 7} {
+		refLog, refNow := laneScript(t, lanes, 1)
+		for _, workers := range []int{2, 4} {
+			log, now := laneScript(t, lanes, workers)
+			if log != refLog || now != refNow {
+				t.Errorf("lanes=%d: workers=%d diverged from serial\nserial:\n%s\nparallel:\n%s",
+					lanes, workers, refLog, log)
+			}
+		}
+	}
+}
+
+// A proc migrating between two stack lanes relays through lane 0 and
+// arrives with its clock intact.
+func TestLaneStackToStackRelay(t *testing.T) {
+	e := NewEngine()
+	a, b := e.NewLane(), e.NewLane()
+	var at units.Seconds
+	var lane LaneID
+	e.GoOn(a, "hopper", func(p *Proc) {
+		p.Hold(3)
+		p.MoveTo(b)
+		at, lane = p.Now(), p.Lane()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 3 || lane != b {
+		t.Errorf("arrived at t=%v on lane %d, want t=3 on lane %d", at, lane, b)
+	}
+}
+
+// Two lanes advancing with no interaction must both reach their natural
+// end, and Now() must report the makespan.
+func TestLaneIndependentBursts(t *testing.T) {
+	e := NewEngine()
+	a, b := e.NewLane(), e.NewLane()
+	var endA, endB units.Seconds
+	e.GoOn(a, "a", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Hold(1)
+		}
+		endA = p.Now()
+	})
+	e.GoOn(b, "b", func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			p.Hold(7)
+		}
+		endB = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if endA != 10 || endB != 28 || e.Now() != 28 {
+		t.Errorf("endA=%v endB=%v now=%v, want 10, 28, 28", endA, endB, e.Now())
+	}
+}
+
+// The conservative horizon: a lane must not run ahead of a migration
+// that another lane will send it. Lane A's proc returns to its home lane
+// at t=5 and must queue on the stack resource before the t=6 local
+// holder releases it — the ordering a causality violation would break.
+func TestLaneHorizonBlocksEarlyAdvance(t *testing.T) {
+	e := NewEngine()
+	stack := e.NewLane()
+	q := NewResourceOn(e, stack, "stack-queue", 1)
+	var order []string
+	e.GoOn(stack, "local", func(p *Proc) {
+		q.Acquire(p)
+		p.Hold(6)
+		order = append(order, "local-release@"+fmt.Sprint(p.Now()))
+		q.Release()
+	})
+	e.GoOn(stack, "roamer", func(p *Proc) {
+		p.MoveTo(0)
+		p.Hold(5) // away on lane 0 until t=5
+		p.MoveTo(stack)
+		q.Acquire(p)
+		order = append(order, "roamer-acq@"+fmt.Sprint(p.Now()))
+		q.Release()
+	})
+	e.GoOn(0, "bystander", func(p *Proc) {
+		p.Hold(20)
+		order = append(order, "bystander@"+fmt.Sprint(p.Now()))
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"local-release@6 s", "roamer-acq@6 s", "bystander@20 s"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// Satellite: the deadlock error names the blockers holding waiters, with
+// counts, sorted by blocker label.
+func TestDeadlockDiagnosticsNameBlockers(t *testing.T) {
+	e := NewEngine()
+	sig := NewNamedSignal(e, "halo-ready")
+	dma := NewResource(e, "pcie-dma", 1)
+	e.Go("holder", func(p *Proc) {
+		dma.Acquire(p)
+		sig.Wait(p) // holds the unit forever
+	})
+	for i := 0; i < 3; i++ {
+		e.Go("w", func(p *Proc) { dma.Acquire(p) })
+	}
+	err := e.Run()
+	if err == nil {
+		t.Fatal("expected deadlock error")
+	}
+	want := "blocked: 3 on resource pcie-dma, 1 on signal halo-ready"
+	if !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not contain %q", err, want)
+	}
+}
+
+// The diagnostics must be identical whether the deadlock happens on a
+// serial or a multi-lane engine (the property the model-level parity
+// tests rely on).
+func TestDeadlockDiagnosticsLaneParity(t *testing.T) {
+	build := func(lanes int) error {
+		e := NewEngine()
+		var stack LaneID
+		if lanes > 1 {
+			stack = e.NewLane()
+		}
+		sig := NewNamedSignal(e, "never-fired")
+		e.GoOn(stack, "worker", func(p *Proc) {
+			p.Hold(2)
+			sig.Wait(p)
+		})
+		return e.Run()
+	}
+	serial, laned := build(1), build(2)
+	if serial == nil || laned == nil {
+		t.Fatal("expected deadlock from both engines")
+	}
+	if serial.Error() != laned.Error() {
+		t.Errorf("diagnostics diverge:\nserial: %v\nlanes:  %v", serial, laned)
+	}
+}
+
+// Satellite: the event heap sheds capacity once it drains far below its
+// high-water mark instead of pinning the peak forever.
+func TestEventHeapShrinks(t *testing.T) {
+	e := NewEngine()
+	l := e.lanes[0]
+	stop := false
+	for i := 0; i < 4096; i++ {
+		e.Schedule(units.Seconds(i), func() {})
+	}
+	peak := cap(l.queue)
+	e.Schedule(5000, func() { stop = true })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !stop {
+		t.Fatal("final event did not run")
+	}
+	if cap(l.queue) >= peak/4 {
+		t.Errorf("heap capacity %d after drain, want < peak/4 (%d)", cap(l.queue), peak/4)
+	}
+}
+
+// Satellite: steady-state scheduling reuses event structs from the
+// free-list instead of allocating one per Schedule.
+func TestEventFreeListReuse(t *testing.T) {
+	e := NewEngine()
+	// Prime the free-list.
+	for i := 0; i < 64; i++ {
+		e.Schedule(0, func() {})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		e.Schedule(0, func() {})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One closure value per iteration is expected; a fresh *event per
+	// Schedule would make this ≥ 2.
+	if allocs > 1.5 {
+		t.Errorf("%.1f allocs per schedule+run cycle, want ≤ 1 (free-list reuse)", allocs)
+	}
+}
+
+// RunUntil now surfaces deadlock like Run: a blocked process with no
+// pending event anywhere is an error, while pending future events are
+// not.
+func TestRunUntilReportsDeadlock(t *testing.T) {
+	e := NewEngine()
+	sig := NewNamedSignal(e, "stuck")
+	e.Go("w", func(p *Proc) { sig.Wait(p) })
+	if err := e.RunUntil(10); err == nil {
+		t.Fatal("expected deadlock error from RunUntil")
+	}
+	e2 := NewEngine()
+	sig2 := NewSignal(e2)
+	e2.Go("w", func(p *Proc) { sig2.Wait(p) })
+	e2.Go("firer", func(p *Proc) { p.Hold(20); sig2.Fire() })
+	if err := e2.RunUntil(10); err != nil {
+		t.Fatalf("deadline before the wake-up is not a deadlock: %v", err)
+	}
+	if err := e2.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Tracer callbacks under a multi-lane run arrive in deterministic lane
+// order and never concurrently.
+func TestTracerLaneOrderDeterministic(t *testing.T) {
+	run := func(workers int) string {
+		e := NewEngine()
+		e.SetWorkers(workers)
+		a, b := e.NewLane(), e.NewLane()
+		var got []string
+		e.SetTracer(func(ts units.Seconds, what string) {
+			got = append(got, fmt.Sprintf("%v %s", ts, what))
+		})
+		for i, id := range []LaneID{a, b} {
+			name := fmt.Sprintf("p%d", i)
+			e.GoOn(id, name, func(p *Proc) { p.Hold(units.Seconds(i + 1)) })
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return strings.Join(got, "\n")
+	}
+	if serial, parallel := run(1), run(4); serial != parallel {
+		t.Errorf("tracer order diverged:\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+}

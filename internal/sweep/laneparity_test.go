@@ -1,0 +1,149 @@
+package sweep_test
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"strings"
+	"testing"
+
+	"pvcsim/internal/core"
+	"pvcsim/internal/gpusim"
+	"pvcsim/internal/mpirt"
+	"pvcsim/internal/obs"
+	"pvcsim/internal/prof"
+	"pvcsim/internal/runner"
+	"pvcsim/internal/sim"
+	"pvcsim/internal/topology"
+)
+
+// exports bundles the three observability artifacts one run produces.
+type exports struct {
+	metrics []byte
+	trace   []byte
+	profile []byte
+}
+
+// runFamily executes one sweep-family workload through the same path
+// pvcbench uses — parallel study, observed runner, RunNamed — under the
+// given lane partition and lane worker count, and returns the exports.
+func runFamily(t *testing.T, name string, sharding, workers int) exports {
+	t.Helper()
+	gpusim.SetLaneSharding(sharding)
+	sim.SetDefaultWorkers(workers)
+	defer gpusim.SetLaneSharding(0)
+	defer sim.SetDefaultWorkers(1)
+
+	study := core.NewParallelStudy(1)
+	col := obs.NewCollector()
+	study.Runner().Observe(col)
+	if err := runner.RunNamed(context.Background(), io.Discard, study.Runner(), study.Registry(),
+		name, nil, false); err != nil {
+		t.Fatalf("%s [lanes=%d workers=%d]: %v", name, sharding, workers, err)
+	}
+	rep := col.Report()
+	var m, tr, pr bytes.Buffer
+	if err := rep.WriteMetrics(&m); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteChromeTrace(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := prof.Build(rep).WriteJSON(&pr); err != nil {
+		t.Fatal(err)
+	}
+	return exports{metrics: m.Bytes(), trace: tr.Bytes(), profile: pr.Bytes()}
+}
+
+// firstDiff returns the index of the first differing byte.
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// TestLaneParitySweepExports is the lane-kernel correctness sweep: for
+// sampled sweep-family cells, the serial reference (one lane, one
+// worker) and every lane partition × worker count must render
+// byte-identical metrics, trace, and profile exports. Lanes and workers
+// may only change wall time, never any simulated artifact.
+func TestLaneParitySweepExports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full sweep cells across a 2×3 lane/worker matrix")
+	}
+	for _, family := range []string{"clover-scaling", "p2p"} {
+		want := runFamily(t, family, 1, 1)
+		for _, sharding := range []int{2, 4} {
+			for _, workers := range []int{1, 2, 4} {
+				got := runFamily(t, family, sharding, workers)
+				if !bytes.Equal(got.metrics, want.metrics) {
+					t.Errorf("%s lanes=%d workers=%d: metrics diverge from serial at byte %d",
+						family, sharding, workers, firstDiff(got.metrics, want.metrics))
+				}
+				if !bytes.Equal(got.trace, want.trace) {
+					t.Errorf("%s lanes=%d workers=%d: chrome trace diverges from serial at byte %d",
+						family, sharding, workers, firstDiff(got.trace, want.trace))
+				}
+				if !bytes.Equal(got.profile, want.profile) {
+					t.Errorf("%s lanes=%d workers=%d: profile diverges from serial at byte %d",
+						family, sharding, workers, firstDiff(got.profile, want.profile))
+				}
+			}
+		}
+	}
+}
+
+// deadlockErr builds a two-rank communicator whose rank 0 posts a
+// receive no one ever sends, runs it to the inevitable deadlock, and
+// returns the engine's diagnostic.
+func deadlockErr(t *testing.T, sharding, workers int) string {
+	t.Helper()
+	gpusim.SetLaneSharding(sharding)
+	sim.SetDefaultWorkers(workers)
+	defer gpusim.SetLaneSharding(0)
+	defer sim.SetDefaultWorkers(1)
+	m, err := gpusim.New(topology.NewAurora())
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm, err := mpirt.NewComm(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := comm.Spawn(func(p *sim.Proc, r *mpirt.Rank) {
+		if r.Rank() == 0 {
+			if e := r.Recv(p, 1, 99); e != nil {
+				panic(e)
+			}
+		}
+	})
+	if runErr == nil {
+		t.Fatalf("lanes=%d workers=%d: expected a deadlock error", sharding, workers)
+	}
+	return runErr.Error()
+}
+
+// TestLaneParityDeadlockDiagnostics injects a model deadlock (an
+// unmatched receive) and checks the diagnostic names the blocker with a
+// count, identically under every lane partition and worker count.
+func TestLaneParityDeadlockDiagnostics(t *testing.T) {
+	want := deadlockErr(t, 1, 1)
+	if !strings.Contains(want, "blocked: 1 on signal rank0 inbox") {
+		t.Fatalf("serial deadlock diagnostic does not name the blocker: %q", want)
+	}
+	for _, sharding := range []int{2, 4} {
+		for _, workers := range []int{1, 2, 4} {
+			if got := deadlockErr(t, sharding, workers); got != want {
+				t.Errorf("lanes=%d workers=%d: deadlock diagnostic %q != serial %q",
+					sharding, workers, got, want)
+			}
+		}
+	}
+}

@@ -109,7 +109,8 @@ func NewAllreduceCell(name string, sys topology.System, nodes int, prec, algo st
 // runAllreduce executes one allreduce of size bytes on every rank of
 // the communicator and returns the finish time of the slowest rank.
 func runAllreduce(c *mpirt.Comm, size units.Bytes, algo string) (units.Seconds, error) {
-	var finish units.Seconds
+	// Per-rank finish slots: ranks run on independent event lanes.
+	finishes := make([]units.Seconds, c.Size())
 	err := c.Spawn(func(p *sim.Proc, r *mpirt.Rank) {
 		var e error
 		if algo == "ring" {
@@ -120,9 +121,13 @@ func runAllreduce(c *mpirt.Comm, size units.Bytes, algo string) (units.Seconds, 
 		if e != nil {
 			panic(e)
 		}
-		if p.Now() > finish {
-			finish = p.Now()
-		}
+		finishes[r.Rank()] = p.Now()
 	})
+	var finish units.Seconds
+	for _, t := range finishes {
+		if t > finish {
+			finish = t
+		}
+	}
 	return finish, err
 }
