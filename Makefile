@@ -12,10 +12,15 @@ check: vet build lint race
 vet:
 	$(GO) vet ./...
 
-# pvclint enforces the invariants in DESIGN.md ("Enforced invariants"):
-# no wall clock in simulation packages, no map-order output, no global
+# pvclint enforces the invariants in DESIGN.md (§8 and §13): no wall
+# clock in simulation packages, no map-order output, no global
 # math/rand, no exact float equality in model code, nil-guarded
-# obs.Recorder calls. Exits nonzero on any finding.
+# obs.Recorder calls, plus the laneguard suite — lane-pinned state
+# written only from its own lane, host-side-only LaneSet mutation,
+# closed bound-tag taxonomy, units.Seconds across call boundaries.
+# Packages are parsed concurrently and type-checked in dependency
+# waves; analyzers share one module-wide call-graph index. Exits
+# nonzero on any finding.
 lint:
 	$(GO) run ./cmd/pvclint
 

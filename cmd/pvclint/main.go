@@ -9,6 +9,10 @@
 //	seededrand    no global math/rand draws; inject a seeded *rand.Rand
 //	floateq       no exact ==/!= on floats in model code
 //	recorderguard every obs/prof Recorder call dominated by a nil check
+//	laneaffinity  lane-pinned state (//laneguard:pinned) written only from its lane
+//	singlewriter  obs.LaneSet mutated host-side only; no captured-slice/map writes from lanes
+//	boundtag      constant bound tags drawn from the closed prof taxonomy
+//	timeunit      no raw float64 seconds crossing call boundaries in model code
 //
 // Exit status is 0 when the tree is clean, 1 when any analyzer reports
 // a finding, 2 on usage or load errors. Deliberate exceptions are
@@ -16,9 +20,13 @@
 //
 //	//pvclint:ignore <analyzer>[,<analyzer>...] <reason>
 //
+// -sarif emits the findings as a SARIF 2.1.0 log (for code-scanning
+// upload) instead of file:line text; it always exits 0/1 by findings
+// like the other modes and cannot be combined with -json.
+//
 // Usage:
 //
-//	pvclint [-C dir] [-json] [-disable a,b] [-list]
+//	pvclint [-C dir] [-json|-sarif] [-disable a,b] [-list]
 package main
 
 import (
@@ -42,11 +50,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	dir := fs.String("C", ".", "module root to analyze (directory containing go.mod)")
 	asJSON := fs.Bool("json", false, "emit findings as a JSON array instead of file:line text")
+	asSARIF := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log instead of file:line text")
 	disable := fs.String("disable", "", "comma-separated analyzer names to skip")
 	list := fs.Bool("list", false, "list analyzers and exit")
 	var logf telemetry.LogFlags
 	logf.Register(fs)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *asJSON && *asSARIF {
+		fmt.Fprintln(stderr, "pvclint: -json and -sarif are mutually exclusive")
 		return 2
 	}
 	if _, err := logf.Setup(stderr); err != nil {
@@ -83,7 +96,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "pvclint: %v\n", err)
 		return 2
 	}
-	if *asJSON {
+	switch {
+	case *asJSON:
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if findings == nil {
@@ -93,13 +107,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "pvclint: %v\n", err)
 			return 2
 		}
-	} else {
+	case *asSARIF:
+		if err := writeSARIF(stdout, *dir, findings); err != nil {
+			fmt.Fprintf(stderr, "pvclint: %v\n", err)
+			return 2
+		}
+	default:
 		for _, d := range findings {
 			fmt.Fprintln(stdout, d)
 		}
 	}
 	if len(findings) > 0 {
-		if !*asJSON {
+		if !*asJSON && !*asSARIF {
 			fmt.Fprintf(stderr, "pvclint: %d finding(s)\n", len(findings))
 		}
 		return 1

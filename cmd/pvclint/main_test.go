@@ -60,6 +60,109 @@ func TestDisableSkipsAnalyzer(t *testing.T) {
 	}
 }
 
+// TestSARIFOutput checks the code-scanning export: the planted
+// violation surfaces as a SARIF result with a module-relative URI, the
+// rule table names every analyzer, and the exit code still signals the
+// finding.
+func TestSARIFOutput(t *testing.T) {
+	dir := plantModule(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "-sarif"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &log); err != nil {
+		t.Fatalf("-sarif output is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version = %q, runs = %d; want 2.1.0 with one run", log.Version, len(log.Runs))
+	}
+	run0 := log.Runs[0]
+	if run0.Tool.Driver.Name != "pvclint" {
+		t.Errorf("driver name = %q", run0.Tool.Driver.Name)
+	}
+	ruleIDs := map[string]bool{}
+	for _, r := range run0.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+	}
+	for _, a := range analysis.All() {
+		if !ruleIDs[a.Name] {
+			t.Errorf("rule table is missing analyzer %q", a.Name)
+		}
+	}
+	if !ruleIDs["directive"] {
+		t.Error("rule table is missing the directive pseudo-analyzer")
+	}
+	if len(run0.Results) != 1 {
+		t.Fatalf("results = %d, want 1:\n%s", len(run0.Results), stdout.String())
+	}
+	res := run0.Results[0]
+	if res.RuleID != "walltime" || res.Level != "error" {
+		t.Errorf("result = %s/%s, want walltime/error", res.RuleID, res.Level)
+	}
+	loc := res.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "gpusim/bad.go" {
+		t.Errorf("uri = %q, want module-relative gpusim/bad.go", loc.ArtifactLocation.URI)
+	}
+	if loc.Region.StartLine != 5 {
+		t.Errorf("startLine = %d, want 5", loc.Region.StartLine)
+	}
+}
+
+// TestSARIFCleanTree: an empty result set is still a valid SARIF log
+// (code-scanning uploads run on green builds too), and -json/-sarif
+// together is a usage error rather than ambiguous output.
+func TestSARIFCleanTree(t *testing.T) {
+	dir := plantModule(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "-sarif", "-disable", "walltime"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	var log struct {
+		Runs []struct {
+			Results []any `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &log); err != nil {
+		t.Fatalf("clean -sarif output is not valid JSON: %v", err)
+	}
+	if len(log.Runs) != 1 || log.Runs[0].Results == nil || len(log.Runs[0].Results) != 0 {
+		t.Errorf("clean run must have one run with an empty (non-null) results array:\n%s", stdout.String())
+	}
+	if code := run([]string{"-C", dir, "-json", "-sarif"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-json -sarif: exit = %d, want 2", code)
+	}
+}
+
 // TestListNamesEveryAnalyzer keeps -list in sync with the registry.
 func TestListNamesEveryAnalyzer(t *testing.T) {
 	var stdout, stderr bytes.Buffer

@@ -132,6 +132,18 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		{dir: "recorderguard", asPath: "pvcsim/internal/mem/fixture"},
 		{dir: "profguard", asPath: "pvcsim/internal/perfmodel/proffixture"},
 		{dir: "directive", asPath: "pvcsim/internal/power/fixture"},
+		// The laneguard suite: lane-pinned state, the LaneSet buffer
+		// contract, the closed bound taxonomy, and seconds-as-float64.
+		{dir: "laneaffinity", asPath: "pvcsim/internal/gpusim/lanefixture"},
+		{dir: "singlewriter", asPath: "pvcsim/internal/mpirt/swfixture"},
+		{dir: "boundtag", asPath: "pvcsim/internal/fabric/boundfixture"},
+		// boundtag is scoped to simulation and prof code: the identical
+		// sources under a reporting path are clean.
+		{dir: "boundtag", asPath: "pvcsim/internal/report/boundfixture", noWants: true},
+		{dir: "timeunit", asPath: "pvcsim/internal/perfmodel/timefixture"},
+		// timeunit only polices model packages; reporting code may carry
+		// raw float64 seconds (chrome traces, CSV columns).
+		{dir: "timeunit", asPath: "pvcsim/internal/report/timefixture", noWants: true},
 	}
 	for _, tc := range cases {
 		label := tc.dir + " as " + tc.asPath

@@ -2,7 +2,10 @@ package analysis
 
 // All returns every pvclint analyzer in stable (alphabetical) order.
 func All() []*Analyzer {
-	return []*Analyzer{FloatEq, MapRange, RecorderGuard, SeededRand, Walltime}
+	return []*Analyzer{
+		BoundTag, FloatEq, LaneAffinity, MapRange, RecorderGuard,
+		SeededRand, SingleWriter, TimeUnit, Walltime,
+	}
 }
 
 // ByName resolves an analyzer by its Name; nil when unknown.

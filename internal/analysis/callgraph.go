@@ -1,0 +1,547 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file builds the cross-package effect index ("laneguard") that the
+// lane-safety analyzers share: a call graph over go/types, the set of
+// lane-pinned struct types, the set of function literals that are
+// scheduled onto simulation lanes (directly via Engine.Go/GoOn/Schedule
+// or indirectly through helpers that forward or invoke a function
+// parameter), and the set of functions reachable from scheduled code
+// ("lane-resident"). Effect summaries per function — pinned-field
+// writes, migration calls, obs.LaneSet uses — live in effects.go.
+//
+// Lane ownership of state is declared in source with a doc-comment
+// directive on the type:
+//
+//	//laneguard:pinned lane0     // state lives on the coordination lane
+//	//laneguard:pinned sharded   // state is partitioned across lanes
+//
+// lane0 types (fabric.Network, the mpirt runtime) may be written by
+// their own methods — every entry point migrates to lane 0 first, so
+// method bodies own the state by construction. sharded types
+// (gpusim.Machine and its stacks) get no such blanket exemption: each
+// write must be dominated by an explicit migration or happen on the
+// owner's lane via GoOn.
+
+// pinKind classifies a //laneguard:pinned directive.
+type pinKind int
+
+const (
+	pinNone    pinKind = iota
+	pinLane0           // owned by the coordination lane (lane 0)
+	pinSharded         // partitioned across lanes (per-stack, per-GPU)
+)
+
+func (k pinKind) String() string {
+	switch k {
+	case pinLane0:
+		return "lane0"
+	case pinSharded:
+		return "sharded"
+	}
+	return "none"
+}
+
+// schedKind records how a function literal came to run on a lane.
+type schedKind int
+
+const (
+	schedUnknown schedKind = iota // scheduled through a helper; lane statically unknown
+	schedLane0                    // Engine.Go / Engine.Schedule: runs on the coordination lane
+	schedGoOn                     // Engine.GoOn: the lane argument names the target lane
+)
+
+// schedLit is one function literal known to execute on a simulation
+// lane.
+type schedLit struct {
+	lit      *ast.FuncLit
+	owner    *funcNode    // enclosing function declaration
+	kind     schedKind
+	laneRoot types.Object // for schedGoOn: leftmost identifier of the lane argument (nil when not ident-rooted)
+}
+
+// callSite is one statically resolved call edge out of a function.
+type callSite struct {
+	callee *types.Func
+	pos    token.Pos
+}
+
+// laneSetUse is one call to obs.LaneSet.Lane or obs.LaneSet.Flush.
+type laneSetUse struct {
+	pos  token.Pos
+	name string
+}
+
+// funcNode is the index entry for one declared function or method.
+type funcNode struct {
+	fn   *types.Func
+	decl *ast.FuncDecl
+	pkg  *Package
+
+	calls      []callSite
+	migrations []token.Pos   // calls that move the running proc onto owned state's lane
+	writes     []pinnedWrite // effects.go
+	laneSet    []laneSetUse  // effects.go
+	lits       []*schedLit   // scheduled literals declared inside this function
+
+	resident bool // reachable from lane-scheduled code via static call edges
+}
+
+// badPin is a malformed //laneguard:pinned directive, reported by
+// laneaffinity so a typo cannot silently unpin a type.
+type badPin struct {
+	pos  token.Pos
+	path string // package import path
+	text string
+}
+
+// Index is the shared cross-package view the laneguard analyzers run
+// against. It is built once per RunPackage / module run and is
+// read-only afterwards, so concurrent analyzer passes may share it.
+type Index struct {
+	fset     *token.FileSet
+	funcs    map[*types.Func]*funcNode
+	byPkg    map[string][]*funcNode // import path -> nodes in file order
+	pinned   map[*types.TypeName]pinKind
+	badPins  []badPin
+	schedPar map[*types.Func]map[int]schedKind // params that the function schedules
+}
+
+// migrationNames are the method names treated as "the running proc
+// moves onto the callee's lane before this point": sim.Proc.MoveTo,
+// fabric.Network.Enter and Flow.Wait, sim.Signal.Wait,
+// sim.Resource.Acquire and sim.Barrier.Arrive (all of which migrate
+// internally). The match is by name, not receiver type, so helper
+// wrappers keep working; that trades a sliver of soundness for zero
+// annotation burden on call sites.
+var migrationNames = map[string]bool{
+	"MoveTo": true, "Enter": true, "Wait": true, "Acquire": true, "Arrive": true,
+}
+
+// engineSchedulers are the Engine methods that admit work onto a lane.
+var engineSchedulers = map[string]bool{"Go": true, "GoOn": true, "Schedule": true}
+
+const pinnedDirective = "//laneguard:pinned"
+
+// NewIndex builds the effect index over the given packages. Pass every
+// loaded package of a module run so call edges and residency cross
+// package boundaries; a single-package slice still yields a correct
+// (more conservative) intra-package view.
+func NewIndex(pkgs []*Package) *Index {
+	ix := &Index{
+		funcs:    map[*types.Func]*funcNode{},
+		byPkg:    map[string][]*funcNode{},
+		pinned:   map[*types.TypeName]pinKind{},
+		schedPar: map[*types.Func]map[int]schedKind{},
+	}
+	for _, pkg := range pkgs {
+		if ix.fset == nil {
+			ix.fset = pkg.Fset
+		}
+		ix.collectPinned(pkg)
+		ix.collectFuncs(pkg)
+	}
+	ix.resolveScheduling(pkgs)
+	ix.collectEffects() // effects.go
+	ix.propagateResidency()
+	return ix
+}
+
+// collectPinned scans type declarations for //laneguard:pinned
+// directives.
+func (ix *Index) collectPinned(pkg *Package) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				for _, cg := range []*ast.CommentGroup{gd.Doc, ts.Doc, ts.Comment} {
+					if cg == nil {
+						continue
+					}
+					for _, c := range cg.List {
+						if !strings.HasPrefix(c.Text, pinnedDirective) {
+							continue
+						}
+						arg := strings.TrimSpace(strings.TrimPrefix(c.Text, pinnedDirective))
+						var kind pinKind
+						switch arg {
+						case "lane0":
+							kind = pinLane0
+						case "sharded":
+							kind = pinSharded
+						default:
+							ix.badPins = append(ix.badPins, badPin{pos: c.Pos(), path: pkg.Path, text: c.Text})
+							continue
+						}
+						if tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName); ok {
+							ix.pinned[tn] = kind
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// collectFuncs registers every declared function/method with its static
+// call edges and migration sites.
+func (ix *Index) collectFuncs(pkg *Package) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			node := &funcNode{fn: fn, decl: fd, pkg: pkg}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := staticCallee(pkg.Info, call); callee != nil {
+					node.calls = append(node.calls, callSite{callee: callee, pos: call.Pos()})
+				}
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && migrationNames[sel.Sel.Name] {
+					node.migrations = append(node.migrations, call.Pos())
+				}
+				return true
+			})
+			ix.funcs[fn] = node
+			ix.byPkg[pkg.Path] = append(ix.byPkg[pkg.Path], node)
+		}
+	}
+}
+
+// staticCallee resolves a call expression to the declared function or
+// method it invokes, or nil for interface calls through unexported
+// machinery, calls of function values, conversions, and builtins.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f // package-qualified call
+		}
+	}
+	return nil
+}
+
+// resolveScheduling finds every function literal that runs on a lane.
+// It iterates to a fixpoint because scheduling flows through helpers:
+// a function that forwards a func parameter to Engine.Go schedules its
+// argument, and a function that *calls* a func parameter inside an
+// already-scheduled literal (mpirt.Comm.Spawn's rank bodies) schedules
+// its argument too.
+func (ix *Index) resolveScheduling(pkgs []*Package) {
+	seen := map[*ast.FuncLit]*schedLit{}
+	for changed := true; changed; {
+		changed = false
+		for _, node := range ix.funcs {
+			if ix.scanScheduling(node, seen) {
+				changed = true
+			}
+		}
+	}
+}
+
+// scanScheduling walks one function body looking for scheduling sites;
+// it returns true when it learned something new (a new scheduled
+// literal, a new scheduled parameter, a newly resident named function).
+func (ix *Index) scanScheduling(node *funcNode, seen map[*ast.FuncLit]*schedLit) bool {
+	info := node.pkg.Info
+	learned := false
+	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		kind, laneExpr, schedIdx := schedUnknown, ast.Expr(nil), map[int]schedKind(nil)
+		if name, ok := engineScheduleCall(info, call); ok {
+			switch name {
+			case "GoOn":
+				kind = schedGoOn
+				if len(call.Args) > 0 {
+					laneExpr = call.Args[0]
+				}
+			default: // Go, Schedule
+				kind = schedLane0
+			}
+			schedIdx = map[int]schedKind{}
+			for i, arg := range call.Args {
+				if tv, ok := info.Types[arg]; ok && tv.Type != nil {
+					if _, isFunc := tv.Type.Underlying().(*types.Signature); isFunc {
+						schedIdx[i] = kind
+					}
+				}
+			}
+		} else if callee := staticCallee(info, call); callee != nil {
+			if sp := ix.schedPar[callee]; len(sp) > 0 {
+				schedIdx = sp
+				kind = schedUnknown
+				laneExpr = nil
+			}
+		}
+		for i, k := range schedIdx {
+			if i >= len(call.Args) {
+				continue
+			}
+			if ix.markScheduled(node, call.Args[i], k, laneExpr, seen) {
+				learned = true
+			}
+		}
+		return true
+	})
+	// A func parameter invoked inside a scheduled literal runs on that
+	// literal's lane: callers of this function are scheduling their
+	// argument.
+	for _, lit := range node.lits {
+		ast.Inspect(lit.lit.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if idx, ok := paramIndex(node, info.Uses[id]); ok {
+					if ix.setSchedParam(node.fn, idx, schedUnknown) {
+						learned = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return learned
+}
+
+// markScheduled records that expr is a function value scheduled onto a
+// lane with the given kind.
+func (ix *Index) markScheduled(node *funcNode, expr ast.Expr, kind schedKind, laneExpr ast.Expr, seen map[*ast.FuncLit]*schedLit) bool {
+	info := node.pkg.Info
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.FuncLit:
+		if _, ok := seen[e]; ok {
+			return false
+		}
+		l := &schedLit{lit: e, owner: node, kind: kind}
+		if laneExpr != nil {
+			l.laneRoot = rootObj(info, laneExpr)
+		}
+		seen[e] = l
+		node.lits = append(node.lits, l)
+		return true
+	case *ast.Ident:
+		if idx, ok := paramIndex(node, info.Uses[e]); ok {
+			return ix.setSchedParam(node.fn, idx, kind)
+		}
+		if f, ok := info.Uses[e].(*types.Func); ok {
+			if n := ix.funcs[f]; n != nil && !n.resident {
+				n.resident = true
+				return true
+			}
+		}
+	case *ast.SelectorExpr:
+		// Method value scheduled directly: eng.Go("x", m.step).
+		if sel, ok := info.Selections[e]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				if n := ix.funcs[f]; n != nil && !n.resident {
+					n.resident = true
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func (ix *Index) setSchedParam(fn *types.Func, idx int, kind schedKind) bool {
+	m := ix.schedPar[fn]
+	if m == nil {
+		m = map[int]schedKind{}
+		ix.schedPar[fn] = m
+	}
+	if old, ok := m[idx]; ok && (old == kind || old == schedUnknown) {
+		return false
+	} else if ok {
+		kind = schedUnknown // conflicting lanes through different paths
+	}
+	m[idx] = kind
+	return true
+}
+
+// paramIndex returns the position of obj among node's declared
+// parameters.
+func paramIndex(node *funcNode, obj types.Object) (int, bool) {
+	if obj == nil || node.decl.Type.Params == nil {
+		return 0, false
+	}
+	i := 0
+	for _, field := range node.decl.Type.Params.List {
+		for _, name := range field.Names {
+			if node.pkg.Info.Defs[name] == obj {
+				return i, true
+			}
+			i++
+		}
+		if len(field.Names) == 0 {
+			i++
+		}
+	}
+	return 0, false
+}
+
+// rootObj walks an expression to its leftmost identifier and returns
+// that identifier's object: rootObj(`a.Stack.Lane()`) is `a`.
+func rootObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if o := info.Uses[x]; o != nil {
+				return o
+			}
+			return info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.CallExpr:
+			e = x.Fun
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// engineScheduleCall reports whether call is sim.Engine.Go / GoOn /
+// Schedule (matched by method name + receiver type name, so fixture
+// stubs of the engine participate too).
+func engineScheduleCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !engineSchedulers[sel.Sel.Name] {
+		return "", false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return "", false
+	}
+	if named := derefNamed(tv.Type); named != nil && named.Obj().Name() == "Engine" {
+		return sel.Sel.Name, true
+	}
+	return "", false
+}
+
+// derefNamed strips pointers and returns the named type underneath, or
+// nil.
+func derefNamed(t types.Type) *types.Named {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		if n, ok := t.(*types.Named); ok {
+			return n
+		}
+		return nil
+	}
+}
+
+// pinKindOf returns the pin classification of the (possibly pointered)
+// type t.
+func (ix *Index) pinKindOf(t types.Type) (pinKind, *types.TypeName) {
+	named := derefNamed(t)
+	if named == nil {
+		return pinNone, nil
+	}
+	k, ok := ix.pinned[named.Obj()]
+	if !ok {
+		return pinNone, nil
+	}
+	return k, named.Obj()
+}
+
+// propagateResidency marks every function reachable from scheduled code
+// through static call edges as lane-resident.
+func (ix *Index) propagateResidency() {
+	for changed := true; changed; {
+		changed = false
+		for _, node := range ix.funcs {
+			for _, cs := range node.calls {
+				if !node.resident && ix.schedLitAt(node, cs.pos) == nil {
+					continue
+				}
+				if callee := ix.funcs[cs.callee]; callee != nil && !callee.resident {
+					callee.resident = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// schedLitAt returns the innermost scheduled literal of node containing
+// pos, or nil.
+func (ix *Index) schedLitAt(node *funcNode, pos token.Pos) *schedLit {
+	var best *schedLit
+	for _, l := range node.lits {
+		if l.lit.Pos() <= pos && pos <= l.lit.End() {
+			if best == nil || l.lit.Pos() > best.lit.Pos() {
+				best = l
+			}
+		}
+	}
+	return best
+}
+
+// migratedBetween reports whether node performs a migration call in
+// [from, pos): a write positionally after MoveTo/Enter/Acquire/Wait is
+// treated as happening on the migrated-to lane.
+func (ix *Index) migratedBetween(node *funcNode, from, pos token.Pos) bool {
+	for _, m := range node.migrations {
+		if from <= m && m < pos {
+			return true
+		}
+	}
+	return false
+}
+
+// recvPin returns the pin classification of node's receiver type
+// (pinNone for plain functions).
+func recvPin(ix *Index, node *funcNode) pinKind {
+	sig, ok := node.fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return pinNone
+	}
+	k, _ := ix.pinKindOf(sig.Recv().Type())
+	return k
+}

@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Effect summaries: for every declared function the index records which
+// lane-pinned state it writes and which obs.LaneSet entry points it
+// touches. The laneaffinity and singlewriter analyzers then only have
+// to combine these summaries with the scheduling/residency facts from
+// callgraph.go — a write is a finding when it can execute on a lane
+// that does not own the state, and a LaneSet.Lane/Flush call is a
+// finding when it can execute on a lane at all (the buffer table is
+// host-side state; lanes use the read-only Buffer accessor).
+
+// pinnedWrite is one assignment to a field of a lane-pinned struct.
+type pinnedWrite struct {
+	pos      token.Pos
+	root     types.Object    // leftmost identifier of the written expression (nil when not resolvable)
+	tn       *types.TypeName // the pinned type whose field is written
+	kind     pinKind
+	expr     string // rendered LHS for diagnostics
+	mapStore bool   // x.f[k] = v where f is a map field
+}
+
+// collectEffects fills writes and laneSet for every registered
+// function. Runs after collectFuncs so pinned types from every package
+// are known.
+func (ix *Index) collectEffects() {
+	for _, node := range ix.funcs {
+		ix.collectFuncEffects(node)
+	}
+}
+
+func (ix *Index) collectFuncEffects(node *funcNode) {
+	info := node.pkg.Info
+	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if w, ok := ix.classifyWrite(info, lhs); ok {
+					node.writes = append(node.writes, w)
+				}
+			}
+		case *ast.IncDecStmt:
+			if w, ok := ix.classifyWrite(info, n.X); ok {
+				node.writes = append(node.writes, w)
+			}
+		case *ast.CallExpr:
+			if use, ok := laneSetCall(info, n); ok {
+				node.laneSet = append(node.laneSet, use)
+			}
+		}
+		return true
+	})
+}
+
+// classifyWrite decides whether the assignment target lhs mutates
+// lane-pinned state. Three shapes count:
+//
+//	x.f = v        direct field write, x of a pinned type
+//	x.f++          ditto
+//	x.f[k] = v     store into a map-typed field of a pinned type
+//
+// A store into a *slice* element of a pinned field (x.f[i] = v) is
+// deliberately exempt: the indexed-slot idiom gives each lane its own
+// index, so the slice header is written once at build time and element
+// writes never race. Growing the slice from lane code is still caught —
+// that is an `x.f = append(...)` header write.
+func (ix *Index) classifyWrite(info *types.Info, lhs ast.Expr) (pinnedWrite, bool) {
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		if tv, ok := info.Types[e.X]; ok && tv.Type != nil {
+			if k, tn := ix.pinKindOf(tv.Type); k != pinNone {
+				return pinnedWrite{
+					pos: lhs.Pos(), root: rootObj(info, e.X), tn: tn, kind: k, expr: exprKey(e),
+				}, true
+			}
+		}
+	case *ast.IndexExpr:
+		sel, ok := ast.Unparen(e.X).(*ast.SelectorExpr)
+		if !ok {
+			return pinnedWrite{}, false
+		}
+		tv, ok := info.Types[sel.X]
+		if !ok || tv.Type == nil {
+			return pinnedWrite{}, false
+		}
+		k, tn := ix.pinKindOf(tv.Type)
+		if k == pinNone {
+			return pinnedWrite{}, false
+		}
+		ftv, ok := info.Types[sel]
+		if !ok || ftv.Type == nil {
+			return pinnedWrite{}, false
+		}
+		if _, isMap := ftv.Type.Underlying().(*types.Map); isMap {
+			return pinnedWrite{
+				pos: lhs.Pos(), root: rootObj(info, sel.X), tn: tn, kind: k,
+				expr: exprKey(sel), mapStore: true,
+			}, true
+		}
+	}
+	return pinnedWrite{}, false
+}
+
+// laneSetCall recognizes obs.LaneSet.Lane and obs.LaneSet.Flush calls
+// by receiver type identity (package named "obs", type "LaneSet").
+func laneSetCall(info *types.Info, call *ast.CallExpr) (laneSetUse, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Lane" && sel.Sel.Name != "Flush") {
+		return laneSetUse{}, false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return laneSetUse{}, false
+	}
+	named := derefNamed(tv.Type)
+	if named == nil || named.Obj().Name() != "LaneSet" {
+		return laneSetUse{}, false
+	}
+	if pkg := named.Obj().Pkg(); pkg == nil || pkg.Name() != "obs" {
+		return laneSetUse{}, false
+	}
+	return laneSetUse{pos: call.Pos(), name: sel.Sel.Name}, true
+}

@@ -1,0 +1,106 @@
+package analysis
+
+import "go/types"
+
+// laneScoped reports whether the lane-safety analyzers apply to a
+// package: simulation code, excluding the event-lane kernel itself
+// (internal/sim owns the lanes and mutates its own structures under its
+// own locksteps — pinning is meaningless there).
+func laneScoped(path string) bool {
+	if !isSimulationPackage(path) {
+		return false
+	}
+	return !pathHasSegment(relPath(path), "sim")
+}
+
+// LaneAffinity enforces the lane-ownership contract from DESIGN.md §12:
+// state owned by a lane-pinned struct (declared with a
+// //laneguard:pinned directive on the type) may only be written from
+// its own lane. A write is checked when it can execute on a lane at
+// all — inside a function literal scheduled via Engine.Go/GoOn/Schedule
+// (directly or through a forwarding helper), or inside a function
+// reachable from scheduled code. It is exempt when ownership is
+// established:
+//
+//   - methods of a lane0-pinned type writing lane0-pinned state: every
+//     entry point of such a type migrates to the coordination lane
+//     first, so method bodies own the state by construction;
+//   - a GoOn closure writing state rooted at the same object whose lane
+//     it was scheduled on (GoOn(owner.Lane(), ...) { owner.f = v });
+//   - an Engine.Go/Schedule closure writing lane0-pinned state — those
+//     primitives target the coordination lane;
+//   - a write positionally dominated by a migration call
+//     (MoveTo/Enter/Acquire/Wait/Arrive) in the same closure or
+//     function body.
+var LaneAffinity = &Analyzer{
+	Name: "laneaffinity",
+	Doc:  "flag writes to lane-pinned state from code running on a foreign lane",
+	Run: func(p *Pass) {
+		for _, bp := range p.Index.badPins {
+			if bp.path == p.Path {
+				p.Reportf(bp.pos, "malformed laneguard:pinned directive %q: want //laneguard:pinned lane0|sharded", bp.text)
+			}
+		}
+		if !laneScoped(p.Path) {
+			return
+		}
+		ix := p.Index
+		for _, node := range ix.byPkg[p.Path] {
+			ownerLane0 := recvPin(ix, node) == pinLane0
+			for _, w := range node.writes {
+				lit := ix.schedLitAt(node, w.pos)
+				if lit == nil && !node.resident {
+					continue // never executes on a lane
+				}
+				if ownerLane0 && w.kind == pinLane0 {
+					continue
+				}
+				from := node.decl.Body.Pos()
+				if lit != nil {
+					from = lit.lit.Pos()
+				}
+				if ix.migratedBetween(node, from, w.pos) {
+					continue
+				}
+				if lit != nil {
+					switch lit.kind {
+					case schedLane0:
+						if w.kind == pinLane0 {
+							continue
+						}
+					case schedGoOn:
+						if lit.laneRoot != nil && w.root != nil && lit.laneRoot == w.root {
+							continue
+						}
+					}
+				}
+				p.ReportFixf(w.pos,
+					"run this write on the owner's lane (sim.GoOn with its lane) or migrate first (Proc.MoveTo / Resource.Acquire)",
+					"cross-lane write to %s: %s.%s is pinned %s but this code runs on %s",
+					w.expr, pkgName(w.tn), w.tn.Name(), w.kind, runsOn(node, lit))
+			}
+		}
+	},
+}
+
+// runsOn describes, for the diagnostic, which lane the writing code
+// executes on.
+func runsOn(node *funcNode, lit *schedLit) string {
+	if lit == nil {
+		return "whatever lane scheduled its caller (function is lane-resident)"
+	}
+	switch lit.kind {
+	case schedLane0:
+		return "the coordination lane (Engine.Go/Schedule)"
+	case schedGoOn:
+		return "the lane passed to GoOn"
+	}
+	return "a lane chosen by the scheduling helper"
+}
+
+func pkgName(tn *types.TypeName) string {
+	if tn.Pkg() != nil {
+		return tn.Pkg().Name()
+	}
+	return ""
+}

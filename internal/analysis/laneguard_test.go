@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"bufio"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pvcsim/internal/hw"
+	"pvcsim/internal/prof"
+)
+
+// TestPlantedCrossLaneWrite verifies the laneguard acceptance scenario:
+// a write to lane-pinned Machine state from a closure scheduled on a
+// foreign lane, planted into internal/gpusim as a synthetic file, must
+// be caught by laneaffinity — and nothing else in the package may
+// regress while it is planted.
+func TestPlantedCrossLaneWrite(t *testing.T) {
+	l, err := NewLoader(moduleRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const plant = `package gpusim
+
+import "pvcsim/internal/sim"
+
+func plantedCrossLaneWrite(m *Machine, eng *sim.Engine) {
+	eng.GoOn(1, "planted", func(p *sim.Proc) {
+		m.prefix = "oops"
+	})
+}
+`
+	l.Extra["pvcsim/internal/gpusim"] = []ExtraFile{{Name: "zz_planted.go", Src: plant}}
+	pkg, err := l.LoadDir(filepath.Join(l.Root, "internal", "gpusim"), "pvcsim/internal/gpusim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunPackage(pkg, []*Analyzer{LaneAffinity})
+	var hits []Diagnostic
+	for _, d := range diags {
+		if strings.HasSuffix(d.File, "zz_planted.go") {
+			hits = append(hits, d)
+		}
+	}
+	if len(hits) != 1 {
+		t.Fatalf("planted cross-lane write: got %d laneaffinity findings, want 1:\n%s", len(hits), renderAll(diags))
+	}
+	if !strings.Contains(hits[0].Message, "m.prefix") {
+		t.Errorf("finding does not name the pinned field: %s", hits[0])
+	}
+	if len(diags) != len(hits) {
+		t.Errorf("unplanted gpusim code has findings:\n%s", renderAll(diags))
+	}
+}
+
+// TestExceptionCountIsPinned asserts the number of //pvclint:ignore
+// directives in the shipped sources. Every exception is a hole in an
+// invariant, so adding one must be a deliberate, reviewed act: update
+// the count here and say why in the directive's reason text. Test
+// files and fixtures are excluded — they exist to exercise the
+// directives.
+func TestExceptionCountIsPinned(t *testing.T) {
+	const wantCount = 14
+	var got int
+	var where []string
+	err := filepath.WalkDir(moduleRoot, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || name == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		line := 0
+		for sc.Scan() {
+			line++
+			if strings.HasPrefix(strings.TrimSpace(sc.Text()), "//pvclint:ignore") {
+				got++
+				rel, _ := filepath.Rel(moduleRoot, path)
+				where = append(where, rel+":"+itoa(line))
+			}
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != wantCount {
+		t.Errorf("found %d //pvclint:ignore directives, want %d; if the new exception is deliberate, "+
+			"document it and bump wantCount:\n  %s", got, wantCount, strings.Join(where, "\n  "))
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// TestBoundTaxonomyAgreesWithProf keeps the boundtag analyzer's closed
+// set in lockstep with the taxonomy it enforces: every fixed tag the
+// analyzer accepts must be known to prof, every fixed prof constant
+// must be in the analyzer's set, and the parameterized families
+// (compute.<precision>, cache.<level>) must round-trip through the
+// prof constructors.
+func TestBoundTaxonomyAgreesWithProf(t *testing.T) {
+	fixed := []string{
+		prof.BoundHBM, prof.BoundPCIe,
+		prof.BoundFabricLocal, prof.BoundFabricRemote,
+		prof.BoundFabricXPlane, prof.BoundFabricNode,
+		prof.BoundPower, prof.BoundLaunch,
+	}
+	if len(fixedBounds) != len(fixed) {
+		t.Errorf("boundtag knows %d fixed tags, prof defines %d", len(fixedBounds), len(fixed))
+	}
+	for _, tag := range fixed {
+		if !fixedBounds[tag] {
+			t.Errorf("prof constant %q is missing from boundtag's fixed set", tag)
+		}
+	}
+	for tag := range fixedBounds {
+		if !prof.KnownBound(tag) {
+			t.Errorf("boundtag fixed tag %q is unknown to prof.KnownBound", tag)
+		}
+	}
+	for _, p := range hw.AllPrecisions() {
+		if tag := prof.BoundCompute(p); !knownBoundTag(tag) || !prof.KnownBound(tag) {
+			t.Errorf("prof.BoundCompute(%v) = %q rejected", p, tag)
+		}
+	}
+	for _, level := range []string{"L1", "L2", "RAMBO"} {
+		if tag := prof.BoundCache(level); !knownBoundTag(tag) || !prof.KnownBound(tag) {
+			t.Errorf("prof.BoundCache(%q) = %q rejected", level, tag)
+		}
+	}
+	if knownBoundTag("compute.") || knownBoundTag("cache.") {
+		t.Error("a bare family prefix with no suffix must not pass")
+	}
+	if !knownBoundTag("") {
+		t.Error("the empty tag (an unattributed flow) must stay legal")
+	}
+}

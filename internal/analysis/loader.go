@@ -9,8 +9,11 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 )
 
 // Package is one fully type-checked package as pvclint sees it.
@@ -36,6 +39,15 @@ type ExtraFile struct {
 // from the module directory tree, everything else is delegated to the
 // "source" compiler importer (which compiles the standard library from
 // GOROOT source, so no pre-built export data is needed).
+//
+// LoadAll runs in two parallel phases over one shared cache: every
+// directory is parsed concurrently (token.FileSet is synchronized),
+// then packages are type-checked in dependency waves — all packages of
+// a wave in parallel, each importing only packages completed in
+// earlier waves, so no path is ever loaded twice and go/types never
+// sees a half-built dependency. The source importer for the standard
+// library is not documented as concurrency-safe, so it is serialized
+// behind its own mutex.
 type Loader struct {
 	Fset   *token.FileSet
 	Root   string // module root: the directory holding go.mod
@@ -45,9 +57,13 @@ type Loader struct {
 	// package's real sources when it is loaded.
 	Extra map[string][]ExtraFile
 
-	std     types.Importer
+	std   types.Importer
+	mu    sync.Mutex // guards pkgs, loading, parsed
+	stdMu sync.Mutex // serializes the source importer
+
 	pkgs    map[string]*Package
 	loading map[string]bool
+	parsed  map[string][]*ast.File // pre-parsed files from LoadAll's parse phase
 }
 
 // NewLoader returns a Loader for the module rooted at root, reading the
@@ -80,13 +96,17 @@ func NewLoader(root string) (*Loader, error) {
 		std:     importer.ForCompiler(fset, "source", nil),
 		pkgs:    map[string]*Package{},
 		loading: map[string]bool{},
+		parsed:  map[string][]*ast.File{},
 	}, nil
 }
 
 // Import implements types.Importer so packages under analysis can
 // depend on each other and on the standard library.
 func (l *Loader) Import(path string) (*types.Package, error) {
-	if p, ok := l.pkgs[path]; ok {
+	l.mu.Lock()
+	p, ok := l.pkgs[path]
+	l.mu.Unlock()
+	if ok {
 		return p.Types, nil
 	}
 	if path == l.Module || strings.HasPrefix(path, l.Module+"/") {
@@ -97,24 +117,14 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 		}
 		return pkg.Types, nil
 	}
+	l.stdMu.Lock()
+	defer l.stdMu.Unlock()
 	return l.std.Import(path)
 }
 
-// LoadDir parses and type-checks the single package in dir, registering
-// it under the import path asPath. Test files are skipped: pvclint
-// checks shipped code, and _test.go files legitimately measure wall
-// time and compare exact floats. Subsequent loads of the same path
-// return the cached package.
-func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
-	if p, ok := l.pkgs[asPath]; ok {
-		return p, nil
-	}
-	if l.loading[asPath] {
-		return nil, fmt.Errorf("analysis: import cycle through %s", asPath)
-	}
-	l.loading[asPath] = true
-	defer delete(l.loading, asPath)
-
+// parseDir parses the non-test Go files of dir (plus any Extra files
+// registered for asPath).
+func (l *Loader) parseDir(dir, asPath string) ([]*ast.File, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -141,6 +151,41 @@ func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
 	}
+	return files, nil
+}
+
+// LoadDir parses and type-checks the single package in dir, registering
+// it under the import path asPath. Test files are skipped: pvclint
+// checks shipped code, and _test.go files legitimately measure wall
+// time and compare exact floats. Subsequent loads of the same path
+// return the cached package.
+func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
+	l.mu.Lock()
+	if p, ok := l.pkgs[asPath]; ok {
+		l.mu.Unlock()
+		return p, nil
+	}
+	if l.loading[asPath] {
+		l.mu.Unlock()
+		return nil, fmt.Errorf("analysis: import cycle through %s", asPath)
+	}
+	l.loading[asPath] = true
+	files := l.parsed[asPath]
+	delete(l.parsed, asPath)
+	l.mu.Unlock()
+	defer func() {
+		l.mu.Lock()
+		delete(l.loading, asPath)
+		l.mu.Unlock()
+	}()
+
+	if files == nil {
+		var err error
+		files, err = l.parseDir(dir, asPath)
+		if err != nil {
+			return nil, err
+		}
+	}
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
 		Defs:       map[*ast.Ident]types.Object{},
@@ -154,14 +199,16 @@ func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
 		return nil, fmt.Errorf("analysis: type-checking %s: %w", asPath, err)
 	}
 	pkg := &Package{Path: asPath, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.mu.Lock()
 	l.pkgs[asPath] = pkg
+	l.mu.Unlock()
 	return pkg, nil
 }
 
-// LoadAll loads every package of the module: each directory under Root
-// containing non-test Go files, skipping testdata trees, hidden
-// directories, and nested modules. Results are sorted by import path.
-func (l *Loader) LoadAll() ([]*Package, error) {
+// moduleDirs lists every package directory of the module: each
+// directory under Root containing non-test Go files, skipping testdata
+// trees, hidden directories, and nested modules. Sorted by path.
+func (l *Loader) moduleDirs() ([]string, error) {
 	var dirs []string
 	err := filepath.WalkDir(l.Root, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
@@ -200,21 +247,159 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 		return nil, err
 	}
 	sort.Strings(dirs)
-	var pkgs []*Package
-	for _, dir := range dirs {
-		rel, err := filepath.Rel(l.Root, dir)
-		if err != nil {
-			return nil, err
-		}
-		path := l.Module
-		if rel != "." {
-			path = l.Module + "/" + filepath.ToSlash(rel)
-		}
-		pkg, err := l.LoadDir(dir, path)
-		if err != nil {
-			return nil, err
-		}
-		pkgs = append(pkgs, pkg)
+	return dirs, nil
+}
+
+// pathFor maps a module directory to its import path.
+func (l *Loader) pathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil {
+		return "", err
 	}
+	if rel == "." {
+		return l.Module, nil
+	}
+	return l.Module + "/" + filepath.ToSlash(rel), nil
+}
+
+// LoadAll loads every package of the module. Results are sorted by
+// import path. Packages are parsed concurrently, then type-checked in
+// dependency waves so independent subtrees check in parallel over the
+// shared import cache.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	dirs, err := l.moduleDirs()
+	if err != nil {
+		return nil, err
+	}
+	paths := make([]string, len(dirs))
+	for i, dir := range dirs {
+		if paths[i], err = l.pathFor(dir); err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 1: parse everything in parallel. Errors are surfaced in
+	// sorted-path order so the first reported failure is deterministic.
+	deps := make([][]string, len(dirs))
+	parseErrs := make([]error, len(dirs))
+	l.forEachIndex(len(dirs), func(i int) {
+		files, err := l.parseDir(dirs[i], paths[i])
+		if err != nil {
+			parseErrs[i] = err
+			return
+		}
+		l.mu.Lock()
+		if _, done := l.pkgs[paths[i]]; !done {
+			l.parsed[paths[i]] = files
+		}
+		l.mu.Unlock()
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				p, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if p == l.Module || strings.HasPrefix(p, l.Module+"/") {
+					deps[i] = append(deps[i], p)
+				}
+			}
+		}
+	})
+	for _, err := range parseErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 2: type-check in waves. A package is ready once all its
+	// module-internal dependencies are done; each wave runs in
+	// parallel, so the recursive Import calls inside go/types only ever
+	// hit completed cache entries.
+	idxOf := map[string]int{}
+	for i, p := range paths {
+		idxOf[p] = i
+	}
+	done := make([]bool, len(dirs))
+	checkErrs := make([]error, len(dirs))
+	for remaining := len(dirs); remaining > 0; {
+		var wave []int
+		for i := range dirs {
+			if done[i] {
+				continue
+			}
+			ready := true
+			for _, d := range deps[i] {
+				if j, ok := idxOf[d]; ok && !done[j] && j != i {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				wave = append(wave, i)
+			}
+		}
+		if len(wave) == 0 {
+			// Import cycle: fall back to a serial load of the first
+			// unfinished package so the error names the cycle.
+			for i := range dirs {
+				if !done[i] {
+					_, err := l.LoadDir(dirs[i], paths[i])
+					return nil, err
+				}
+			}
+		}
+		l.forEachIndex(len(wave), func(w int) {
+			i := wave[w]
+			if _, err := l.LoadDir(dirs[i], paths[i]); err != nil {
+				checkErrs[i] = err
+			}
+		})
+		for _, err := range checkErrs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		for _, i := range wave {
+			done[i] = true
+		}
+		remaining -= len(wave)
+	}
+
+	pkgs := make([]*Package, len(dirs))
+	l.mu.Lock()
+	for i, p := range paths {
+		pkgs[i] = l.pkgs[p]
+	}
+	l.mu.Unlock()
 	return pkgs, nil
+}
+
+// forEachIndex runs fn(0..n-1) on up to GOMAXPROCS goroutines.
+func (l *Loader) forEachIndex(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
 }

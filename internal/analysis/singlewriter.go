@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SingleWriter enforces the single-writer contract of the per-lane
+// observability buffers (DESIGN.md §12): each lane appends only to its
+// own obs.LaneBuffer, and the table that maps lanes to buffers is
+// host-side state. Two shapes are flagged in lane-scheduled code:
+//
+//   - calls to obs.LaneSet.Lane or obs.LaneSet.Flush — Lane grows the
+//     shared buffer table (a slice-header write that races across
+//     lanes) and Flush merges every lane's buffer; both belong on the
+//     host. Lanes read an existing buffer with LaneSet.Buffer instead,
+//     which is why buffers are created up front at Observe time;
+//   - appends to a captured slice or stores into a captured map from a
+//     scheduled closure — the classic shared-accumulator race. The
+//     indexed-slot idiom (results[i] = v with one i per lane) stays
+//     legal, as does anything declared inside the closure.
+var SingleWriter = &Analyzer{
+	Name: "singlewriter",
+	Doc:  "flag shared-accumulator writes and LaneSet table mutation from lane-scheduled code",
+	Run: func(p *Pass) {
+		if !laneScoped(p.Path) {
+			return
+		}
+		ix := p.Index
+		for _, node := range ix.byPkg[p.Path] {
+			for _, use := range node.laneSet {
+				lit := ix.schedLitAt(node, use.pos)
+				if lit == nil && !node.resident {
+					continue
+				}
+				p.ReportFixf(use.pos,
+					"create the lane's buffer up front (at Observe time) and read it with LaneSet.Buffer",
+					"obs.LaneSet.%s called from lane-scheduled code; the buffer table is shared host-side state", use.name)
+			}
+			for _, lit := range node.lits {
+				checkCapturedWrites(p, node, lit)
+			}
+		}
+	},
+}
+
+// checkCapturedWrites walks one scheduled literal for appends to and
+// map stores into variables captured from the enclosing scope.
+func checkCapturedWrites(p *Pass, node *funcNode, lit *schedLit) {
+	ix := p.Index
+	ast.Inspect(lit.lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					continue
+				}
+				if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+					continue
+				}
+				dst, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if obj := p.Info.Uses[dst]; capturedBy(obj, lit) && ix.schedLitAt(node, call.Pos()) == lit {
+					p.ReportFixf(call.Pos(),
+						"give each lane its own indexed slot or obs.LaneSet buffer and merge on the host",
+						"append to captured %q from a lane-scheduled closure races with other lanes", dst.Name)
+				}
+			}
+			for _, lhs := range n.Lhs {
+				checkCapturedMapStore(p, node, lit, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkCapturedMapStore(p, node, lit, n.X)
+		}
+		return true
+	})
+}
+
+// checkCapturedMapStore flags `m[k] = v` / `m[k]++` where m is a map
+// identifier declared outside the scheduled literal. Slice-element
+// stores are exempt: that is the indexed-slot idiom.
+func checkCapturedMapStore(p *Pass, node *funcNode, lit *schedLit, lhs ast.Expr) {
+	idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return
+	}
+	id, ok := ast.Unparen(idx.X).(*ast.Ident)
+	if !ok {
+		return
+	}
+	tv, ok := p.Info.Types[idx.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if obj := p.Info.Uses[id]; capturedBy(obj, lit) && p.Index.schedLitAt(node, lhs.Pos()) == lit {
+		p.ReportFixf(lhs.Pos(),
+			"give each lane its own map (indexed slot) and merge on the host",
+			"write to captured map %q from a lane-scheduled closure races with other lanes", id.Name)
+	}
+}
+
+// capturedBy reports whether obj is declared outside the literal (and
+// is thus shared with the scheduler's goroutine and any other lane).
+func capturedBy(obj types.Object, lit *schedLit) bool {
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < lit.lit.Pos() || obj.Pos() > lit.lit.End()
+}

@@ -1,0 +1,121 @@
+// Package lanefixture exercises the laneaffinity analyzer: writes to
+// lane-pinned state (declared with //laneguard:pinned) are flagged when
+// they can execute on a foreign lane — inside scheduled closures,
+// through forwarding helpers, or in lane-resident functions one call
+// away — and exempt when ownership is established (own-lane GoOn,
+// migration, lane0 methods on lane0 state).
+package lanefixture
+
+// LaneID stands in for sim.LaneID.
+type LaneID int
+
+// Engine stands in for sim.Engine: the analyzer keys on the receiver
+// type name and the Go/GoOn/Schedule method names, so wrappers and
+// fixtures participate without importing the kernel.
+type Engine struct{}
+
+func (e *Engine) Go(name string, body func(*Proc))             {}
+func (e *Engine) GoOn(id LaneID, name string, body func(*Proc)) {}
+func (e *Engine) Schedule(after float64, fn func())            {}
+
+// Proc stands in for sim.Proc.
+type Proc struct{}
+
+// MoveTo migrates the process (a migration primitive by name).
+func (p *Proc) MoveTo(id LaneID) {}
+
+// Owner is per-lane state, like gpusim.Machine.
+//
+//laneguard:pinned sharded
+type Owner struct {
+	val   int
+	hist  map[string]int
+	slots []int
+	lane  LaneID
+}
+
+// Lane returns the owner's lane.
+func (o *Owner) Lane() LaneID { return o.lane }
+
+// Net is coordination-lane state, like fabric.Network.
+//
+//laneguard:pinned lane0
+type Net struct {
+	seq int
+}
+
+// bump writes lane0 state from a lane0 type's own method: exempt by
+// construction even when resident.
+func (n *Net) bump() { n.seq++ }
+
+func ownAndForeign(e *Engine, a, b *Owner) {
+	e.GoOn(a.Lane(), "a", func(p *Proc) {
+		a.val = 1 // scheduled on a's own lane
+		b.val = 2 // want `laneaffinity: cross-lane write to b\.val`
+	})
+}
+
+func coordinationLane(e *Engine, n *Net, o *Owner) {
+	e.Go("x", func(p *Proc) {
+		n.seq = 3 // Engine.Go targets lane 0 and Net is lane0-pinned
+		n.bump()
+		o.val = 4 // want `laneaffinity: cross-lane write to o\.val`
+	})
+}
+
+func migrated(e *Engine, o *Owner) {
+	e.Go("y", func(p *Proc) {
+		p.MoveTo(o.Lane())
+		o.val = 5 // dominated by the migration
+	})
+}
+
+// spawn forwards its argument to the scheduler: literals passed to it
+// are scheduled one helper away from the Engine call.
+func spawn(e *Engine, body func(*Proc)) { e.Go("w", body) }
+
+func viaHelper(e *Engine, o *Owner) {
+	spawn(e, func(p *Proc) {
+		o.val = 6 // want `laneaffinity: cross-lane write to o\.val`
+	})
+}
+
+// resetVal is lane-resident (called from scheduled code below): its
+// write is caught one level of indirection away from the closure.
+func resetVal(o *Owner) {
+	o.val = 0 // want `laneaffinity: cross-lane write to o\.val`
+}
+
+func viaResident(e *Engine, o *Owner) {
+	e.Go("z", func(p *Proc) {
+		resetVal(o)
+	})
+}
+
+func mapOnOwnLane(e *Engine, o *Owner) {
+	e.GoOn(o.Lane(), "m", func(p *Proc) {
+		o.hist["k"] = 1 // map store on the owner's own lane
+	})
+}
+
+func mapOnForeignLane(e *Engine, a, b *Owner) {
+	e.GoOn(a.Lane(), "mf", func(p *Proc) {
+		b.hist["k"] = 1 // want `laneaffinity: cross-lane write to b\.hist`
+	})
+}
+
+func indexedSlot(e *Engine, a, b *Owner) {
+	e.GoOn(a.Lane(), "s", func(p *Proc) {
+		b.slots[0] = 9 // slice-element store: the indexed-slot idiom is exempt
+	})
+}
+
+func annotated(e *Engine, a, b *Owner) {
+	e.GoOn(a.Lane(), "i", func(p *Proc) {
+		//pvclint:ignore laneaffinity fixture exercises the escape hatch
+		b.val = 7
+	})
+}
+
+// hostSide never runs on a lane: plain writes stay legal.
+func hostSide(o *Owner) { o.val = 8 }

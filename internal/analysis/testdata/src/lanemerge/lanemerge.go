@@ -13,7 +13,7 @@ import "sort"
 // gpusim wrappers.
 type engine struct{}
 
-func (engine) Schedule(delay float64, fn func())       {}
+func (engine) Schedule(after float64, fn func())       {}
 func (engine) Go(name string, body func())             {}
 func (engine) GoOn(lane int, name string, body func()) {}
 func (engine) Fire()                                   {}

@@ -1,0 +1,74 @@
+// Package swfixture exercises the singlewriter analyzer: the
+// obs.LaneSet buffer table is host-side state (lanes read their slot
+// with Buffer; Lane and Flush mutate or merge the table), and captured
+// slices/maps must not be written from scheduled closures.
+package swfixture
+
+import (
+	"pvcsim/internal/obs"
+	"pvcsim/internal/units"
+)
+
+// LaneID stands in for sim.LaneID.
+type LaneID int
+
+// Engine stands in for sim.Engine.
+type Engine struct{}
+
+func (e *Engine) Go(name string, body func())             {}
+func (e *Engine) GoOn(id LaneID, name string, body func()) {}
+
+type host struct {
+	set *obs.LaneSet
+}
+
+// observe creates buffers on the host, before any lane runs: legal.
+func (h *host) observe(sink obs.Recorder) {
+	h.set = obs.NewLaneSet(sink)
+	h.set.Lane(0, func() units.Seconds { return 0 })
+}
+
+func laneCode(e *Engine, h *host) {
+	e.Go("x", func() {
+		h.set.Lane(1, func() units.Seconds { return 0 }) // want `singlewriter: obs\.LaneSet\.Lane called from lane-scheduled code`
+		b := h.set.Buffer(0)                             // reading the table is the blessed accessor
+		if b != nil {
+			b.Add("c", 1)
+		}
+		h.set.Flush() // want `singlewriter: obs\.LaneSet\.Flush called from lane-scheduled code`
+	})
+}
+
+// flushAll is lane-resident via viaHelper: caught one level away.
+func flushAll(h *host) {
+	h.set.Flush() // want `singlewriter: obs\.LaneSet\.Flush called from lane-scheduled code`
+}
+
+func viaHelper(e *Engine, h *host) {
+	e.Go("y", func() { flushAll(h) })
+}
+
+func sharedAccumulators(e *Engine) {
+	var all []int
+	counts := map[string]int{}
+	slots := make([]int, 4)
+	e.GoOn(1, "z", func() {
+		all = append(all, 1) // want `singlewriter: append to captured "all"`
+		counts["k"]++        // want `singlewriter: write to captured map "counts"`
+		slots[2] = 7         // indexed slot: each lane owns its index
+		var local []int
+		local = append(local, 3) // declared inside the closure: private
+		_ = local
+	})
+	_ = all
+	_ = counts
+}
+
+func annotated(e *Engine) {
+	var all []int
+	e.Go("i", func() {
+		//pvclint:ignore singlewriter fixture exercises the escape hatch
+		all = append(all, 1)
+	})
+	_ = all
+}

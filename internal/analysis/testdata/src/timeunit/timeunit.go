@@ -1,0 +1,32 @@
+// Package timefixture exercises the timeunit analyzer: simulated time
+// is units.Seconds, so duration-named float64 parameters and
+// mid-expression float64(units.Seconds) conversions are flagged, while
+// boundary uses (call argument, composite literal, return) stay legal.
+package timefixture
+
+import "pvcsim/internal/units"
+
+func hold(delay float64)  {} // want `timeunit: parameter "delay" passes seconds as raw float64`
+func heat(tempC float64)  {} // not a duration name
+func run(d units.Seconds) {} // carries its unit in the type
+
+var emit = func(latency float64) {} // want `timeunit: parameter "latency" passes seconds as raw float64`
+
+type export struct {
+	Sec float64
+}
+
+func use(t units.Seconds) float64 {
+	mid := float64(t) * 1e6 // want `timeunit: units\.Seconds converted to raw float64 mid-expression`
+	_ = mid
+	hold(float64(t))            // call-argument boundary
+	_ = export{Sec: float64(t)} // composite-literal boundary
+	run(t)
+	return float64(t) // return boundary
+}
+
+func annotated(t units.Seconds) {
+	//pvclint:ignore timeunit fixture exercises the escape hatch
+	x := float64(t) + 1
+	_ = x
+}

@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// timeName matches parameter names that carry a duration in seconds.
+// Deliberately narrow: better to miss an oddly named parameter than to
+// flag `x float64` maths.
+var timeName = regexp.MustCompile(`^(seconds|secs|dur|duration|delay|latency|elapsed|deadline|timeout)$|(Seconds|Secs|Duration|Latency|Delay)$`)
+
+// TimeUnit keeps simulated time in its defined type: units.Seconds is
+// the simulator's clock currency, and mixing it with raw float64
+// seconds across call boundaries is how unit bugs (a 1e6 scale factor
+// applied twice, a latency added to a bandwidth term) slip in. Two
+// shapes are flagged in simulation packages:
+//
+//   - a function parameter of bare float64 whose name says it is a
+//     duration (seconds, delay, latency, ...) — declare it
+//     units.Seconds so the type system carries the unit across the
+//     call;
+//   - a float64(x) conversion of a units.Seconds value in the middle of
+//     an expression — arithmetic should stay in units.Seconds
+//     (which supports all float operations) and drop to raw float64
+//     only at an export or call boundary, so conversions used directly
+//     as a call argument, composite-literal value, or return value are
+//     exempt.
+//
+// The reverse direction (units.Seconds(x) from raw float64) is
+// deliberately unchecked: constructing simulated time from literals and
+// model outputs is how time enters the system.
+var TimeUnit = &Analyzer{
+	Name: "timeunit",
+	Doc:  "flag raw float64 seconds crossing call boundaries and mid-expression units.Seconds conversions",
+	Run: func(p *Pass) {
+		if !isSimulationPackage(p.Path) {
+			return
+		}
+		for _, f := range p.Files {
+			inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					checkTimeParams(p, n.Type)
+				case *ast.FuncLit:
+					checkTimeParams(p, n.Type)
+				case *ast.CallExpr:
+					checkSecondsConversion(p, n, stack)
+				}
+				return true
+			})
+		}
+	},
+}
+
+// checkTimeParams flags duration-named parameters declared as bare
+// float64.
+func checkTimeParams(p *Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	for _, field := range ft.Params.List {
+		tv, ok := p.Info.Types[field.Type]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		b, ok := tv.Type.(*types.Basic)
+		if !ok || b.Kind() != types.Float64 {
+			continue
+		}
+		for _, name := range field.Names {
+			if timeName.MatchString(name.Name) {
+				p.ReportFixf(name.Pos(),
+					"declare the parameter as units.Seconds",
+					"parameter %q passes seconds as raw float64 across a call boundary; unit mix-ups are invisible to the compiler", name.Name)
+			}
+		}
+	}
+}
+
+// checkSecondsConversion flags float64(x) where x is units.Seconds and
+// the conversion feeds further computation rather than a boundary
+// (call argument, composite literal, return).
+func checkSecondsConversion(p *Pass, call *ast.CallExpr, stack []ast.Node) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	b, ok := tv.Type.(*types.Basic)
+	if !ok || b.Kind() != types.Float64 {
+		return
+	}
+	atv, ok := p.Info.Types[call.Args[0]]
+	if !ok || !isUnitsSeconds(atv.Type) {
+		return
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.CallExpr, *ast.KeyValueExpr, *ast.CompositeLit, *ast.ReturnStmt:
+			return // boundary use: leaving the simulation's time domain is the point
+		default:
+			_ = parent
+		}
+		break
+	}
+	p.ReportFixf(call.Pos(),
+		"keep the arithmetic in units.Seconds and convert once at the boundary",
+		"units.Seconds converted to raw float64 mid-expression; later scale factors and unit mix-ups are invisible to the compiler")
+}
+
+// isUnitsSeconds reports whether t is the defined type units.Seconds
+// (matched by type and package name so fixtures importing the real
+// package participate).
+func isUnitsSeconds(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	o := n.Obj()
+	return o.Name() == "Seconds" && o.Pkg() != nil && o.Pkg().Name() == "units"
+}

@@ -22,6 +22,9 @@ import (
 )
 
 // Constraint is one bandwidth capacity shared by the flows crossing it.
+// Flow accounting mutates it, always on the network's lane:
+//
+//laneguard:pinned lane0
 type Constraint struct {
 	Name     string
 	capacity float64 // bytes per second
@@ -35,7 +38,10 @@ func (c *Constraint) Capacity() units.ByteRate { return units.ByteRate(c.capacit
 // constraint.
 func (c *Constraint) ActiveFlows() int { return len(c.flows) }
 
-// Flow is one in-flight transfer.
+// Flow is one in-flight transfer. Its progress state belongs to the
+// network's coordination lane:
+//
+//laneguard:pinned lane0
 type Flow struct {
 	name      string
 	bound     string // binding-resource tag carried onto the recorded span
@@ -69,6 +75,8 @@ func (f *Flow) Rate() units.ByteRate { return units.ByteRate(f.rate) }
 // calling process there, and the non-blocking Start variants must already
 // be called from lane-0 context (mpirt and the gpusim memcpy paths
 // migrate before routing into them).
+//
+//laneguard:pinned lane0
 type Network struct {
 	eng     *sim.Engine
 	lane    sim.LaneID
@@ -224,6 +232,7 @@ func (n *Network) start(name, bound string, size units.Bytes, cs []*Constraint) 
 // previously computed rates.
 func (n *Network) advance() {
 	now := n.now()
+	//pvclint:ignore timeunit the fluid integrator multiplies seconds by bytes/second; the product leaves the time domain
 	dt := float64(now - n.lastT)
 	n.lastT = now
 	if dt <= 0 {
@@ -285,6 +294,7 @@ func (n *Network) reschedule() {
 		if math.IsInf(soonest, 1) {
 			return
 		}
+		//pvclint:ignore timeunit math.Nextafter probes the raw float grid of the clock; units.Seconds has no epsilon
 		now := float64(n.now())
 		resolution := math.Nextafter(now, math.Inf(1)) - now
 		if soonest >= resolution {

@@ -73,6 +73,12 @@ func (c *Cluster) Observe(r obs.Recorder) {
 	c.laneSet = nil
 	if r != nil {
 		c.laneSet = obs.NewLaneSet(r)
+		// Create the coordination-lane buffer up front, on the host:
+		// netBuf runs on the network's lane (StartRemote is reached from
+		// rank processes), where growing the LaneSet table would be a
+		// cross-lane write.
+		lane := c.Net.Lane()
+		c.laneSet.Lane(0, func() units.Seconds { return c.Eng.LaneNow(lane) })
 	}
 	c.Net.Observe(c.netBuf())
 	for _, m := range c.nodes {
@@ -82,13 +88,16 @@ func (c *Cluster) Observe(r obs.Recorder) {
 
 // netBuf is the cluster's coordination-lane buffer (nil when not
 // observed): the shared fabric network and the remote-transfer hop
-// counters record into it, always from the network's own lane.
+// counters record into it, always from the network's own lane. The
+// buffer exists from Observe time, so this is a pure read of the table.
 func (c *Cluster) netBuf() obs.Recorder {
 	if c.laneSet == nil {
 		return nil
 	}
-	lane := c.Net.Lane()
-	return c.laneSet.Lane(0, func() units.Seconds { return c.Eng.LaneNow(lane) })
+	if b := c.laneSet.Buffer(0); b != nil {
+		return b
+	}
+	return nil
 }
 
 // remotePath composes the inter-node route between two nodes: source

@@ -34,7 +34,11 @@ func SetLaneSharding(n int) { defaultLaneShards.Store(int64(n)) }
 // LaneSharding returns the current lane-partition default.
 func LaneSharding() int { return int(defaultLaneShards.Load()) }
 
-// Machine is one simulated node.
+// Machine is one simulated node. Its state — queues, per-stack
+// buffers, peer links — is partitioned across event lanes at build
+// time, so lane code may only touch it through its own lane's slots:
+//
+//laneguard:pinned sharded
 type Machine struct {
 	Eng   *sim.Engine
 	Net   *fabric.Network
@@ -79,6 +83,13 @@ func (m *Machine) Observe(r obs.Recorder) {
 	m.laneSet = nil
 	if r != nil {
 		m.laneSet = obs.NewLaneSet(r)
+		// Create every buffer up front, on the host: bufFor runs on
+		// stack lanes, and growing the LaneSet table there would be a
+		// cross-lane write (the singlewriter analyzer flags it). Lanes
+		// only ever read their slot via LaneSet.Buffer.
+		for idx, lane := range m.bufLane {
+			m.laneSet.Lane(idx, func() units.Seconds { return m.Eng.LaneNow(lane) })
+		}
 	}
 	if !m.shared {
 		m.Net.Observe(m.laneBuf(m.Net.Lane()))
@@ -117,13 +128,16 @@ func (m *Machine) laneBufIdx(lane sim.LaneID) int {
 
 // bufFor returns the buffered recorder at a buffer index (nil when the
 // machine is not observed). Each buffer is written by exactly one lane,
-// so concurrent lanes never contend; Run flushes the merge.
+// so concurrent lanes never contend; Run flushes the merge. All
+// buffers exist from Observe time, so this is a pure read of the table.
 func (m *Machine) bufFor(idx int) obs.Recorder {
 	if m.laneSet == nil {
 		return nil
 	}
-	lane := m.bufLane[idx]
-	return m.laneSet.Lane(idx, func() units.Seconds { return m.Eng.LaneNow(lane) })
+	if b := m.laneSet.Buffer(idx); b != nil {
+		return b
+	}
+	return nil
 }
 
 // stackBuf is the buffer a stack's kernel launches record into.
@@ -247,6 +261,24 @@ func newOn(eng *sim.Engine, net *fabric.Network, node *topology.NodeSpec, prefix
 		}
 		m.cards = append(m.cards, c)
 	}
+	// Pre-size the legacy-recorder buffers and pre-create every
+	// cross-card peer link: record() and the D2D routes run on stack
+	// lanes, where growing a shared slice or filling a shared map would
+	// be a cross-lane write (laneaffinity flags it). Constraints are
+	// passive until a flow uses them, so eager link creation changes no
+	// simulated output.
+	m.recBufs = make([][]TraceEvent, m.nStacks+len(laneIDs))
+	spec := gpu.PeerLink
+	for i, a := range subs {
+		for _, b := range subs[i+1:] {
+			if a.GPU == b.GPU {
+				continue
+			}
+			key := pairKey(a, b)
+			m.peerLinks[key] = fabric.NewLink(net, fmt.Sprintf("%speer%v-%v", prefix, key.a, key.b),
+				spec.Sustained(), spec.DuplexFactor, spec.Latency)
+		}
+	}
 	return m, nil
 }
 
@@ -259,23 +291,20 @@ func MustNew(node *topology.NodeSpec) *Machine {
 	return m
 }
 
-// peerLink lazily creates the inter-card path between two subdevices.
-// Xe-Link (and its NVLink/IF counterparts) provides a distinct port per
-// stack pair: six disjoint remote stack pairs on Aurora each sustain the
-// full per-pair bandwidth (Table III: 95 ≈ 6 × 15 GB/s).
+// peerLink returns the inter-card path between two subdevices, created
+// at build time (newOn pre-creates every cross-card pair so lane code
+// never mutates the map). Xe-Link (and its NVLink/IF counterparts)
+// provides a distinct port per stack pair: six disjoint remote stack
+// pairs on Aurora each sustain the full per-pair bandwidth (Table III:
+// 95 ≈ 6 × 15 GB/s).
 func (m *Machine) peerLink(a, b topology.StackID) *fabric.Link {
-	key := pairKey(a, b)
-	if l, ok := m.peerLinks[key]; ok {
-		return l
-	}
-	spec := m.Node.GPU.PeerLink
-	l := fabric.NewLink(m.Net, fmt.Sprintf("%speer%v-%v", m.prefix, key.a, key.b),
-		spec.Sustained(), spec.DuplexFactor, spec.Latency)
-	m.peerLinks[key] = l
-	return l
+	return m.peerLinks[pairKey(a, b)]
 }
 
-// Stack is a handle to one subdevice.
+// Stack is a handle to one subdevice; it shares the machine's
+// lane-partitioned state.
+//
+//laneguard:pinned sharded
 type Stack struct {
 	m  *Machine
 	ID topology.StackID

@@ -83,7 +83,9 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 			Name: e.Name,
 			Cat:  e.Kind,
 			Ph:   "X",
+			//pvclint:ignore timeunit Chrome traces are defined in raw microseconds; this is the export boundary
 			TS:   float64(e.Start) * 1e6,
+			//pvclint:ignore timeunit Chrome traces are defined in raw microseconds; this is the export boundary
 			Dur:  float64(e.Duration()) * 1e6,
 			PID:  e.Stack.GPU,
 			TID:  e.Stack.Stack,
@@ -109,9 +111,10 @@ func (m *Machine) Recorder() *Recorder { return m.rec }
 // independent of the lane partition.
 func (m *Machine) record(idx int, name, kind string, st topology.StackID, start, end units.Seconds, bytes units.Bytes, flops float64, bound string) {
 	if m.rec != nil {
-		for len(m.recBufs) <= idx {
-			m.recBufs = append(m.recBufs, nil)
-		}
+		// recBufs is pre-sized at build time: record runs on stack
+		// lanes, and growing the shared slice here would be a cross-lane
+		// header write. The element append touches only this lane's own
+		// indexed slot.
 		m.recBufs[idx] = append(m.recBufs[idx], TraceEvent{Name: name, Kind: kind, Stack: st, Start: start, End: end, Bytes: bytes})
 	}
 	if lb := m.bufFor(idx); lb != nil {
@@ -140,6 +143,7 @@ func (r *Recorder) Summary(total units.Seconds) string {
 	for _, id := range ids {
 		util := 0.0
 		if total > 0 {
+			//pvclint:ignore timeunit utilization is a dimensionless ratio of two durations; the seconds cancel
 			util = float64(busy[id]) / float64(total) * 100
 		}
 		out += fmt.Sprintf("%v: busy %v (%.0f%%)\n", id, busy[id], util)

@@ -20,6 +20,8 @@ import (
 // communicator spans either one machine (NewComm) or a whole cluster
 // (NewClusterComm); in the latter case inter-node sends are routed over
 // the cluster network instead of the node-local fabric.
+//
+//laneguard:pinned lane0
 type Comm struct {
 	m       *gpusim.Machine // nil for cluster communicators
 	cl      *gpusim.Cluster // nil for single-node communicators
@@ -30,7 +32,10 @@ type Comm struct {
 	barrier *sim.Barrier
 }
 
-// message is an in-flight eager-protocol message.
+// message is an in-flight eager-protocol message, owned by the
+// communicator's lane like the inboxes that hold it:
+//
+//laneguard:pinned lane0
 type message struct {
 	src, dst int
 	tag      int
@@ -39,7 +44,11 @@ type message struct {
 	claimed  bool
 }
 
-// Rank is one MPI process.
+// Rank is one MPI process. Its matching state (inbox, signals) lives
+// on the communicator's lane; rank methods migrate there before
+// touching it:
+//
+//laneguard:pinned lane0
 type Rank struct {
 	comm    *Comm
 	rank    int
@@ -140,7 +149,10 @@ func (r *Rank) Rank() int { return r.rank }
 // Size of the communicator.
 func (r *Rank) Size() int { return len(r.comm.ranks) }
 
-// Request is a handle for a non-blocking operation.
+// Request is a handle for a non-blocking operation; the matcher
+// mutates it on the communicator's lane:
+//
+//laneguard:pinned lane0
 type Request struct {
 	kind    byte // 's' or 'r'
 	rank    *Rank

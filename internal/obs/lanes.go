@@ -63,6 +63,17 @@ func (s *LaneSet) Lane(i int, now func() units.Seconds) *LaneBuffer {
 	return s.bufs[i]
 }
 
+// Buffer returns the lane buffer at index i, or nil when none has been
+// created. Unlike Lane it never mutates the table, so it is the
+// accessor lane-resident code must use: buffers are created up front
+// (at Observe time, on the host) and lanes only read their own slot.
+func (s *LaneSet) Buffer(i int) *LaneBuffer {
+	if i < 0 || i >= len(s.bufs) {
+		return nil
+	}
+	return s.bufs[i]
+}
+
 // Flush drains every buffer into the sink — spans concatenated in lane
 // order (their export order is canonicalized downstream by
 // Trace.Spans), counter increments merged by (time, lane, emission

@@ -37,6 +37,7 @@ func (m *Model) EnergyToSolution(kind Kind, prec hw.Precision, ops float64, n in
 	clock := m.Gov.OperatingClock(w)
 	perDomain := m.Gov.PowerAt(w, clock)
 	total := perDomain * float64(n)
+	//pvclint:ignore timeunit energy = watts x seconds deliberately leaves the time domain here
 	e := total * float64(t)
 	return EnergyReport{
 		Time:       t,

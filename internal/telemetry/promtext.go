@@ -117,7 +117,19 @@ func ParseMetrics(r io.Reader) (Families, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	for _, fam := range fams {
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fam := fams[name]
+		if fam.Type == "" {
+			// A # HELP line alone declares a family; strictness found
+			// by fuzzing: without this, `# HELP x` parsed as a page
+			// containing an untyped, sample-less family.
+			return nil, fmt.Errorf("family %s has # HELP but no # TYPE", fam.Name)
+		}
 		if fam.Type == "histogram" {
 			if err := checkHistogram(fam); err != nil {
 				return nil, err
