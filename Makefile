@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet build lint test race bench artifacts trace-demo profile-demo sweep-demo bench-record bench-check lane-parity serve-demo smoke clean
+.PHONY: check vet build lint test race bench artifacts trace-demo profile-demo sweep-demo wallprof-demo bench-record bench-check lane-parity serve-demo smoke clean
 
 check: vet build lint race
 
@@ -67,6 +67,22 @@ sweep-demo: build
 		&& echo "sweep-demo: fabric.remote-node residency present" \
 		|| { echo "sweep-demo: fabric.remote-node missing from profile report"; exit 1; }
 
+# Wall-clock self-profiling demo (DESIGN.md §14): run the CloverLeaf
+# weak-scaling cell with both timelines on — the simulated-time trace
+# and the wall-time engine timeline — then render the wall report and
+# prove the purity claim: the simulated metrics export is byte-identical
+# with the profiler attached and with it absent.
+wallprof-demo: build
+	$(GO) run ./cmd/pvcbench -workload clover-scaling -system aurora \
+		-trace wallprof-demo-trace.json -wall-trace wallprof-demo-walltrace.json \
+		-wallprof wallprof-demo.json -metrics wallprof-demo-metrics.json
+	$(GO) run ./cmd/pvcprof wall report wallprof-demo.json
+	$(GO) run ./cmd/pvcbench -workload clover-scaling -system aurora \
+		-metrics wallprof-demo-metrics-off.json
+	cmp wallprof-demo-metrics.json wallprof-demo-metrics-off.json
+	@echo "wallprof-demo: metrics byte-identical with wallprof on vs off"
+	@echo "wrote wallprof-demo-trace.json + wallprof-demo-walltrace.json — load both at https://ui.perfetto.dev"
+
 # Append today's bench record (the six Table V/VI FOM workloads) to
 # BENCH_<date>.json — the simulator's own performance trajectory.
 # -lane-jobs 0 lets each node simulation use the event-lane pool on top
@@ -77,7 +93,11 @@ bench-record: build
 # Regression gate: run the bench set now and diff it against the
 # committed baseline. Simulated FOM drift hard-fails (exact tolerance);
 # wall-clock drift only warns — lane workers may only move wall time.
+# The zero-alloc test pins the disabled wall-probe path first: every
+# simulation pays the nil-probe hook sites, so they must stay a single
+# pointer compare — no allocations (DESIGN.md §14).
 bench-check: build
+	$(GO) test -run TestWallprobeNilPathZeroAlloc ./internal/sim/
 	$(GO) run ./cmd/pvcprof bench -jobs 0 -lane-jobs 0 -out bench-current.json
 	$(GO) run ./cmd/pvcprof diff BENCH_baseline.json bench-current.json
 
@@ -103,4 +123,6 @@ smoke: build
 	./scripts/pvcd-smoke.sh
 
 clean:
-	rm -rf artifacts trace-demo.json profile-demo.json profile-demo.folded sweep-demo.json bench-current.json
+	rm -rf artifacts trace-demo.json profile-demo.json profile-demo.folded sweep-demo.json bench-current.json \
+		wallprof-demo.json wallprof-demo-trace.json wallprof-demo-walltrace.json \
+		wallprof-demo-metrics.json wallprof-demo-metrics-off.json

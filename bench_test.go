@@ -28,6 +28,7 @@ import (
 	"pvcsim/internal/sweep"
 	"pvcsim/internal/topology"
 	"pvcsim/internal/units"
+	"pvcsim/internal/wallprof"
 	"pvcsim/internal/workload"
 )
 
@@ -159,6 +160,40 @@ func BenchmarkLane_CloverLeafSerial(b *testing.B)   { benchLaneWorkers(b, 1, "cl
 func BenchmarkLane_CloverLeafWorkers4(b *testing.B) { benchLaneWorkers(b, 4, "cloverleaf") }
 func BenchmarkLane_OpenMCSerial(b *testing.B)       { benchLaneWorkers(b, 1, "openmc") }
 func BenchmarkLane_OpenMCWorkers4(b *testing.B)     { benchLaneWorkers(b, 4, "openmc") }
+
+// --- Wall-clock self-profiling overhead (DESIGN.md §14): the same
+// engine-driving cells with the probe hooks left nil vs a live wallprof
+// collector. The Nil variant is the cost every simulation now pays for
+// the instrumentation points (one pointer compare per hook site — the
+// zero-alloc claim is pinned by TestWallprobeNilPathZeroAlloc, which
+// `make bench-check` runs); the delta to Enabled is the price of
+// actually profiling. clover-scaling is the subject because it genuinely
+// drives the event-lane engine — the Table VI FOM workloads are analytic
+// and would never reach a burst hook. ---
+
+func benchWallprofOverhead(b *testing.B, enabled bool) {
+	b.Helper()
+	sim.SetDefaultWorkers(2)
+	defer sim.SetDefaultWorkers(1)
+	cells := registryCells(b, pvcPair, "clover-scaling")
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := runner.New(1)
+		if enabled {
+			r.ProfileWall(wallprof.New())
+		}
+		for _, res := range r.Run(ctx, cells) {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	}
+}
+
+func BenchmarkWallprofOverheadNil(b *testing.B)     { benchWallprofOverhead(b, false) }
+func BenchmarkWallprofOverheadEnabled(b *testing.B) { benchWallprofOverhead(b, true) }
 
 // --- Registry: the full study cell set, serial vs parallel, plus the
 // memo-cache hit path. ---

@@ -19,6 +19,7 @@ import (
 	"pvcsim/internal/sweep"
 	"pvcsim/internal/telemetry"
 	"pvcsim/internal/topology"
+	"pvcsim/internal/wallprof"
 	"pvcsim/internal/workload"
 )
 
@@ -435,11 +436,30 @@ func (s *server) execute(ctx context.Context, rn *apiRun, cells []runner.Cell) {
 	}
 	col := obs.NewCollector()
 	r.Observe(col)
+	// Wall-clock self-profiling rides along on every run: its totals
+	// feed the engine-health metrics scraped at /metrics. A pure side
+	// channel — the simulated artifacts below are unaffected.
+	wall := wallprof.New()
+	r.ProfileWall(wall)
 	r.AddHooks(s.teleHooks)
 	r.AddHooks(rn.stats)
 	r.AddHooks(sseHooks{b: rn.bcast})
 
 	results := r.Run(ctx, cells)
+
+	wt := wall.Report().Totals()
+	s.tele.ObserveEngine(telemetry.EngineRunStats{
+		Rounds:          wt.Rounds,
+		Barriers:        wt.Barriers,
+		MailboxMsgs:     wt.MailboxMsgs,
+		BusySeconds:     wt.BusySeconds,
+		StallSeconds:    wt.StallSeconds,
+		BarrierSeconds:  wt.BarrierSeconds,
+		LaneUtilization: wt.LaneUtilization,
+		BuildSeconds:    wt.BuildSeconds,
+		SimulateSeconds: wt.SimulateSeconds,
+		ExportSeconds:   wt.ExportSeconds,
+	})
 
 	var zipBytes []byte
 	var artErr error

@@ -9,12 +9,21 @@
 //	pvcprof flame profile.json             folded stacks (flamegraph.pl input)
 //	pvcprof diff [flags] old.json new.json compare two exports
 //	pvcprof bench [flags]                  run the bench set, append a record
+//	pvcprof wall report wall.json          per-lane utilization / stall tables
+//	pvcprof wall flame wall.json           wall-time folded stacks
+//	pvcprof wall diff [flags] a.json b.json compare two wall self-profiles
 //
-// diff accepts any pvcsim export — a -profile file, a -metrics file, or
-// a bench record array (the last record is compared) — and exits 1 when
-// a simulated metric drifted beyond its threshold. Simulated figures
-// are deterministic, so the default threshold is exact equality;
-// wall-clock figures only ever warn unless -fail-on-wall is set.
+// diff accepts any pvcsim export — a -profile file, a -metrics file, a
+// -wallprof file, or a bench record array (the last record is compared)
+// — and exits 1 when a simulated metric drifted beyond its threshold.
+// Simulated figures are deterministic, so the default threshold is
+// exact equality; wall-clock figures only ever warn unless
+// -fail-on-wall is set. An input missing a wall stat the other carries
+// is noted, never treated as zero.
+//
+// wall inspects the simulator's wall-clock self-profile (a -wallprof
+// export): where host time went — per-lane busy/stall/idle, barrier
+// serialization, mailbox latency, and runner phases.
 //
 //	pvcprof diff -rel-tol 0.01 -metric-tol 'wall.run_ms=0.5' old.json new.json
 //
@@ -42,6 +51,7 @@ import (
 	"pvcsim/internal/runner"
 	"pvcsim/internal/sweep"
 	"pvcsim/internal/telemetry"
+	"pvcsim/internal/wallprof"
 )
 
 func main() {
@@ -50,7 +60,7 @@ func main() {
 
 func run(args []string, stdout, stderr io.Writer) int {
 	if len(args) == 0 {
-		fmt.Fprintln(stderr, "pvcprof: usage: pvcprof report|flame|diff|bench [flags] [files]")
+		fmt.Fprintln(stderr, "pvcprof: usage: pvcprof report|flame|diff|bench|wall [flags] [files]")
 		return 2
 	}
 	switch args[0] {
@@ -62,10 +72,84 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runDiff(args[1:], stdout, stderr)
 	case "bench":
 		return runBench(args[1:], stdout, stderr)
+	case "wall":
+		return runWall(args[1:], stdout, stderr)
 	default:
-		fmt.Fprintf(stderr, "pvcprof: unknown subcommand %q (want report, flame, diff, or bench)\n", args[0])
+		fmt.Fprintf(stderr, "pvcprof: unknown subcommand %q (want report, flame, diff, bench, or wall)\n", args[0])
 		return 2
 	}
+}
+
+// runWall dispatches the wall-clock self-profile views.
+func runWall(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, "pvcprof wall: usage: pvcprof wall report|flame|diff [flags] [files]")
+		return 2
+	}
+	switch args[0] {
+	case "report":
+		return runWallRender(args[1:], stdout, stderr, "report", (*wallprof.Report).WriteReport)
+	case "flame":
+		return runWallRender(args[1:], stdout, stderr, "flame", (*wallprof.Report).WriteFlame)
+	case "diff":
+		// ParseMetrics recognizes wall profiles, so the shared diff
+		// path compares them (every metric wall-classed: warnings
+		// unless -fail-on-wall).
+		return runDiff(args[1:], stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "pvcprof wall: unknown subcommand %q (want report, flame, or diff)\n", args[0])
+		return 2
+	}
+}
+
+// loadWall reads a -wallprof export.
+func loadWall(path string) (*wallprof.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := prof.ParseMetrics(data)
+	if err != nil {
+		return nil, err
+	}
+	if m.Source != "wall" {
+		return nil, fmt.Errorf("%s is a %s export; wall report/flame need a -wallprof file", path, m.Source)
+	}
+	var r wallprof.Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// runWallRender is the shared wall report/flame path.
+func runWallRender(args []string, stdout, stderr io.Writer, name string,
+	render func(*wallprof.Report, io.Writer) error) int {
+	fs := flag.NewFlagSet("pvcprof wall "+name, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var logf telemetry.LogFlags
+	logf.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if _, err := logf.Setup(stderr); err != nil {
+		fmt.Fprintf(stderr, "pvcprof wall %s: %v\n", name, err)
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintf(stderr, "pvcprof wall %s: want exactly one wall.json argument\n", name)
+		return 2
+	}
+	r, err := loadWall(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "pvcprof wall %s: %v\n", name, err)
+		return 2
+	}
+	if err := render(r, stdout); err != nil {
+		fmt.Fprintf(stderr, "pvcprof wall %s: %v\n", name, err)
+		return 2
+	}
+	return 0
 }
 
 // loadProfile reads a -profile export.
@@ -191,11 +275,19 @@ func runDiff(args []string, stdout, stderr io.Writer) int {
 	for _, m := range res.Added {
 		fmt.Fprintf(stdout, "note %s: new metric, no baseline\n", m)
 	}
+	for _, m := range res.WallMissing {
+		fmt.Fprintf(stdout, "note %s: %s lacks this wall stat (recorded without self-profiling?); not compared\n",
+			m, fs.Arg(1))
+	}
 	if res.Failed() {
 		fmt.Fprintf(stderr, "pvcprof diff: %d regression(s)\n", len(res.Regressions)+len(res.Missing))
 		return 1
 	}
-	fmt.Fprintf(stdout, "ok: %d simulated metric(s) within tolerance\n", len(oldM.Sim))
+	if oldM.Source == "wall" {
+		fmt.Fprintf(stdout, "ok: %d wall stat(s) compared (warnings only unless -fail-on-wall)\n", len(oldM.Wall))
+	} else {
+		fmt.Fprintf(stdout, "ok: %d simulated metric(s) within tolerance\n", len(oldM.Sim))
+	}
 	return 0
 }
 
@@ -236,6 +328,11 @@ func runBench(args []string, stdout, stderr io.Writer) int {
 
 	reg := sweep.DefaultRegistry()
 	r := runner.New(*jobs)
+	// Bench runs always self-profile: the engine totals land in the
+	// record's wall side so the trajectory tracks lane utilization and
+	// barrier cost alongside raw run time.
+	wc := wallprof.New()
+	r.ProfileWall(wc)
 	var cells []runner.Cell
 	for _, name := range benchWorkloads {
 		w, ok := reg.Get(name)
@@ -252,16 +349,39 @@ func runBench(args []string, stdout, stderr io.Writer) int {
 	results := r.Run(context.Background(), cells)
 	wall := time.Since(begin)
 
+	tot := wc.Report().Totals()
+	meanUtil := 0.0
+	for _, u := range tot.LaneUtilization {
+		meanUtil += u
+	}
+	if n := len(tot.LaneUtilization); n > 0 {
+		meanUtil /= float64(n)
+	}
+	buildMS, simMS := 0.0, 0.0
+	for _, s := range tot.BuildSeconds {
+		buildMS += s * 1e3
+	}
+	for _, s := range tot.SimulateSeconds {
+		simMS += s * 1e3
+	}
 	rec := prof.Record{
 		Schema: prof.SchemaVersion,
 		Date:   *date,
 		Label:  *label,
 		Sim:    map[string]float64{},
 		Wall: prof.WallStats{
-			RunMS:    float64(wall) / float64(time.Millisecond),
-			Jobs:     *jobs,
-			LaneJobs: laneWorkers,
-			Cells:    len(cells),
+			RunMS:        float64(wall) / float64(time.Millisecond),
+			Jobs:         *jobs,
+			LaneJobs:     laneWorkers,
+			Cells:        len(cells),
+			BuildMS:      buildMS,
+			SimulateMS:   simMS,
+			LaneBusyMS:   tot.BusySeconds * 1e3,
+			LaneStallMS:  tot.StallSeconds * 1e3,
+			BarrierMS:    tot.BarrierSeconds * 1e3,
+			EngineRounds: tot.Rounds,
+			MailboxMsgs:  tot.MailboxMsgs,
+			MeanLaneUtil: meanUtil,
 		},
 	}
 	for _, res := range results {

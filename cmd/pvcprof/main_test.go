@@ -13,6 +13,7 @@ import (
 	"pvcsim/internal/prof"
 	"pvcsim/internal/runner"
 	"pvcsim/internal/sweep"
+	"pvcsim/internal/wallprof"
 )
 
 // writeProbeProfile produces a real -profile export: one richly
@@ -195,6 +196,108 @@ func TestReportAndFlameFromProbe(t *testing.T) {
 	}
 }
 
+// writeWallProfile produces a real -wallprof export: one workload
+// through a wall-profiled runner, written the way the -wallprof flag
+// does it.
+func writeWallProfile(t *testing.T, path string) {
+	t.Helper()
+	// clover-scaling genuinely drives the cell's event-lane engine (the
+	// FOM workloads are analytic), so the export carries lane stats.
+	w, ok := sweep.DefaultRegistry().Get("clover-scaling")
+	if !ok {
+		t.Fatal("clover-scaling not registered")
+	}
+	wc := wallprof.New()
+	r := runner.New(1)
+	r.ProfileWall(wc)
+	cells := []runner.Cell{{System: w.Systems()[0], Workload: w}}
+	for _, res := range r.Run(context.Background(), cells) {
+		if res.Err != nil {
+			t.Fatalf("wall probe run: %v", res.Err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := wc.Report().WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWallReportFlameAndDiff(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "wall-a.json")
+	b := filepath.Join(dir, "wall-b.json")
+	writeWallProfile(t, a)
+	writeWallProfile(t, b)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"wall", "report", a}, &out, &errb); code != 0 {
+		t.Fatalf("wall report: exit %d, stderr:\n%s", code, errb.String())
+	}
+	for _, want := range []string{"Wall-clock self-profile", "LANE", "UTIL", "STALL", "barriers"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("wall report missing %q:\n%s", want, out.String())
+		}
+	}
+
+	out.Reset()
+	if code := run([]string{"wall", "flame", a}, &out, &errb); code != 0 {
+		t.Fatalf("wall flame: exit %d, stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), ";simulate;lane 0;busy ") {
+		t.Fatalf("wall flame missing lane stack:\n%s", out.String())
+	}
+
+	// Two wall profiles of the same run differ only in wall time: the
+	// diff must never fail by default, whatever the drift.
+	out.Reset()
+	if code := run([]string{"wall", "diff", a, b}, &out, &errb); code != 0 {
+		t.Fatalf("wall diff: exit %d, want 0 (wall drift warns)\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "wall stat(s) compared") {
+		t.Fatalf("wall diff ok line missing:\n%s", out.String())
+	}
+
+	// wall report refuses other export kinds, naming what it got.
+	bench := writeFile(t, dir, "bench.json", benchJSON(1))
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"wall", "report", bench}, &out, &errb); code != 2 {
+		t.Fatalf("wall report on a bench file: exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "is a bench export") {
+		t.Fatalf("stderr:\n%s", errb.String())
+	}
+}
+
+func TestDiffNotesMissingWallStats(t *testing.T) {
+	dir := t.TempDir()
+	// Old record carries engine self-profile stats; new one predates
+	// them. The diff must say so instead of comparing against zero.
+	withStats := writeFile(t, dir, "with.json",
+		`[{"schema_version": 1, "date": "2026-01-01",
+  "sim": {"cloverleaf:grind/cell@Aurora": 100},
+  "wall": {"run_ms": 100, "jobs": 1, "cells": 1,
+           "lane_busy_ms": 80, "lane_stall_ms": 5, "barrier_ms": 2,
+           "engine_rounds": 40, "mailbox_msgs": 12, "mean_lane_util": 0.8}}]`)
+	without := writeFile(t, dir, "without.json", benchJSON(100))
+	var out, errb bytes.Buffer
+	if code := run([]string{"diff", withStats, without}, &out, &errb); code != 0 {
+		t.Fatalf("missing wall stats must not fail: exit %d\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "note wall.lane_busy_ms") ||
+		!strings.Contains(out.String(), "lacks this wall stat") {
+		t.Fatalf("missing-wall note absent:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "warn wall.lane_busy_ms") {
+		t.Fatalf("absent wall stat was compared as zero:\n%s", out.String())
+	}
+}
+
 func TestBenchAppendsAndDiffsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("bench run over the FOM set")
@@ -230,5 +333,8 @@ func TestBenchAppendsAndDiffsClean(t *testing.T) {
 	}
 	if recs[0].Wall.Cells == 0 || len(recs[0].Sim) == 0 {
 		t.Fatalf("bench record is empty: %+v", recs[0])
+	}
+	if !recs[0].Wall.HasSelfProfile() {
+		t.Fatalf("bench record lacks self-profile stats: %+v", recs[0].Wall)
 	}
 }

@@ -117,6 +117,12 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		// this case fails if "telemetry" is dropped from
 		// wallClockAllowed, keeping the allowlist honest.
 		{dir: "walltime", asPath: "pvcsim/internal/telemetry/sim/fixture", noWants: true},
+		// The wall-clock self-profiling layer owns the injected clock
+		// that internal/sim's timing-free probe callbacks are measured
+		// against: it is explicitly classified, not blanket-ignored,
+		// and the allowlist again wins over a sim segment.
+		{dir: "walltime", asPath: "pvcsim/internal/wallprof/fixture", noWants: true},
+		{dir: "walltime", asPath: "pvcsim/internal/wallprof/sim/fixture", noWants: true},
 		{dir: "maprange", asPath: "pvcsim/internal/report/fixture"},
 		// Schedule-sensitive sites: admitting events/procs from a map
 		// range leaks iteration order into the lane mailbox merge.
@@ -203,6 +209,47 @@ func TestModuleIsClean(t *testing.T) {
 	}
 	if len(diags) > 0 {
 		t.Errorf("pvclint findings on a tree that must be clean:\n%s", renderAll(diags))
+	}
+}
+
+// TestPlantedWalltimeInSim is the sensitivity check for the wallprof
+// allowlisting: granting the self-profiling layer the wall clock must
+// not have loosened the ban where it matters. A time.Now planted in
+// internal/sim — the package wallprof instruments through timing-free
+// callbacks — must still be caught.
+func TestPlantedWalltimeInSim(t *testing.T) {
+	l, err := NewLoader(moduleRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const plant = `package sim
+
+import "time"
+
+func plantedWallClock() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+`
+	l.Extra["pvcsim/internal/sim"] = []ExtraFile{{Name: "zz_planted.go", Src: plant}}
+	pkg, err := l.LoadDir(filepath.Join(l.Root, "internal", "sim"), "pvcsim/internal/sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunPackage(pkg, []*Analyzer{Walltime})
+	var hits []Diagnostic
+	for _, d := range diags {
+		if strings.HasSuffix(d.File, "zz_planted.go") {
+			hits = append(hits, d)
+		}
+	}
+	if len(hits) != 2 {
+		t.Fatalf("planted time.Now/time.Since in sim: got %d walltime findings, want 2:\n%s",
+			len(hits), renderAll(diags))
+	}
+	if len(diags) != len(hits) {
+		t.Errorf("unplanted sim code has walltime findings (the wallprof probe leaked a clock?):\n%s",
+			renderAll(diags))
 	}
 }
 

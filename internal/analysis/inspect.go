@@ -117,11 +117,15 @@ var simulationSegments = []string{
 
 // wallClockAllowed are the segments explicitly allowed to read the wall
 // clock: the runner reports human-facing elapsed times, CLIs may time
-// themselves, and the telemetry layer (and the pvcd daemon over it) is
-// a wall-clock side channel by design — its latency histograms and run
-// logs measure the host, never the simulation. cmd wins over a sim
+// themselves, the telemetry layer (and the pvcd daemon over it) is a
+// wall-clock side channel by design — its latency histograms and run
+// logs measure the host, never the simulation — and wallprof IS the
+// wall clock: the self-profiling layer owns the injected clock that
+// internal/sim's timing-free WallProbe callbacks are measured against.
+// The ban on sim packages stands precisely because wallprof exists: sim
+// emits callbacks, wallprof reads the clock. cmd wins over a sim
 // segment, so cmd/apps is allowed.
-var wallClockAllowed = []string{"cmd", "runner", "telemetry"}
+var wallClockAllowed = []string{"cmd", "runner", "telemetry", "wallprof"}
 
 // isSimulationPackage classifies an import path under the walltime /
 // floateq contract.

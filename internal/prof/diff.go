@@ -7,23 +7,25 @@ import (
 	"strings"
 
 	"pvcsim/internal/obs"
+	"pvcsim/internal/wallprof"
 )
 
 // Metrics is the flattened named-metric view pvcprof diff compares: a
 // map of metric name → value for the simulated quantities, plus a
-// separate map for wall-clock quantities (bench records only), which
-// are never hard-failed by default — wall time varies run to run, the
-// simulated figures must not.
+// separate map for wall-clock quantities (bench records and wall
+// self-profiles), which are never hard-failed by default — wall time
+// varies run to run, the simulated figures must not.
 type Metrics struct {
-	Source string // "profile", "metrics", or "bench"
+	Source string // "profile", "metrics", "bench", or "wall"
 	Sim    map[string]float64
 	Wall   map[string]float64
 }
 
 // ParseMetrics auto-detects the format of a pvcsim export and flattens
 // it: a profile (schema_version + cells with residency), an obs metrics
-// dump (memo_hits + cells with counters), or a bench record array (the
-// last record is compared).
+// dump (memo_hits + cells with counters), a wall self-profile
+// (wall_schema_version), or a bench record array (the last record is
+// compared).
 func ParseMetrics(data []byte) (*Metrics, error) {
 	trimmed := strings.TrimLeft(string(data), " \t\r\n")
 	if strings.HasPrefix(trimmed, "[") {
@@ -39,11 +41,22 @@ func ParseMetrics(data []byte) (*Metrics, error) {
 	var probe struct {
 		SchemaVersion *int `json:"schema_version"`
 		MemoHits      *int `json:"memo_hits"`
+		WallSchema    *int `json:"wall_schema_version"`
 	}
 	if err := json.Unmarshal(data, &probe); err != nil {
 		return nil, fmt.Errorf("prof: parsing export: %w", err)
 	}
 	switch {
+	case probe.WallSchema != nil:
+		var r wallprof.Report
+		if err := json.Unmarshal(data, &r); err != nil {
+			return nil, fmt.Errorf("prof: parsing wall profile: %w", err)
+		}
+		if r.WallSchema != wallprof.WallSchemaVersion {
+			return nil, fmt.Errorf("prof: wall profile schema %d, this build understands %d",
+				r.WallSchema, wallprof.WallSchemaVersion)
+		}
+		return flattenWall(&r), nil
 	case probe.SchemaVersion != nil:
 		var p Profile
 		if err := json.Unmarshal(data, &p); err != nil {
@@ -101,6 +114,45 @@ func flattenBench(r Record) *Metrics {
 		m.Sim[k] = v
 	}
 	m.Wall["wall.run_ms"] = r.Wall.RunMS
+	// Self-profile totals flatten only when the record carries them: a
+	// record written before the wallprof layer existed must not
+	// masquerade as "zero busy time" — its absence is reported by Diff
+	// (WallMissing) instead of compared.
+	if r.Wall.HasSelfProfile() {
+		m.Wall["wall.build_ms"] = r.Wall.BuildMS
+		m.Wall["wall.simulate_ms"] = r.Wall.SimulateMS
+		m.Wall["wall.lane_busy_ms"] = r.Wall.LaneBusyMS
+		m.Wall["wall.lane_stall_ms"] = r.Wall.LaneStallMS
+		m.Wall["wall.barrier_ms"] = r.Wall.BarrierMS
+		m.Wall["wall.engine_rounds"] = r.Wall.EngineRounds
+		m.Wall["wall.mailbox_msgs"] = r.Wall.MailboxMsgs
+		m.Wall["wall.mean_lane_util"] = r.Wall.MeanLaneUtil
+	}
+	return m
+}
+
+// flattenWall flattens a wall self-profile. Every quantity is wall
+// time, so everything lands in Wall and a diff of two wall profiles
+// warns (never fails) unless -fail-on-wall.
+func flattenWall(r *wallprof.Report) *Metrics {
+	m := &Metrics{Source: "wall", Sim: map[string]float64{}, Wall: map[string]float64{}}
+	m.Wall["wall.export_ms"] = r.ExportMS
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		name := cellName(c.Workload, c.System, c.Params)
+		m.Wall[name+" wall.build_ms"] = c.BuildMS
+		m.Wall[name+" wall.simulate_ms"] = c.SimulateMS
+		m.Wall[name+" wall.engine_run_ms"] = c.EngineRunMS
+		m.Wall[name+" wall.barrier_ms"] = c.BarrierMS
+		m.Wall[name+" wall.rounds"] = float64(c.Rounds)
+		m.Wall[name+" wall.barriers"] = float64(c.Barriers)
+		for _, l := range c.Lanes {
+			lane := fmt.Sprintf("%s wall.lane%d.", name, l.Lane)
+			m.Wall[lane+"busy_ms"] = l.BusyMS
+			m.Wall[lane+"utilization"] = l.Utilization
+			m.Wall[lane+"stall_frac"] = l.StallFrac
+		}
+	}
 	return m
 }
 
@@ -146,6 +198,7 @@ type DiffResult struct {
 	Warnings    []DiffLine
 	Missing     []string // metrics present in old but absent in new — also regressions
 	Added       []string // metrics new grew; informational
+	WallMissing []string // wall stats present in old but absent in new — reported, never failed
 }
 
 // Failed reports whether the diff should exit nonzero.
@@ -179,7 +232,11 @@ func Diff(old, new *Metrics, opt DiffOptions) *DiffResult {
 			nv, ok := newVals[n]
 			if !ok {
 				if wall {
-					continue // a bench format change is not a perf regression
+					// Not a perf regression — but not silently zero
+					// either: the caller tells the user which input
+					// lacks the stat.
+					res.WallMissing = append(res.WallMissing, n)
+					continue
 				}
 				res.Missing = append(res.Missing, n)
 				continue

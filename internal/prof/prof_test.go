@@ -213,10 +213,54 @@ func TestParseMetricsDetectsFormats(t *testing.T) {
 		t.Fatalf("bench metrics = sim %+v wall %+v", m.Sim, m.Wall)
 	}
 
-	for _, bad := range []string{"[]", "{}", `{"schema_version": 99, "cells": []}`, "nonsense"} {
+	wall := []byte(`{"wall_schema_version": 1, "export_ms": 2,
+  "cells": [{"workload": "w", "system": "aurora", "build_ms": 1, "simulate_ms": 3,
+             "engine_runs": 1, "engine_run_ms": 3, "workers": 2, "rounds": 4,
+             "barriers": 4, "barrier_ms": 0.5, "mean_active_lanes": 1.5,
+             "lanes": [{"lane": 0, "busy_ms": 2, "stall_ms": 0.1, "idle_ms": 0.9,
+                        "utilization": 0.66, "stall_frac": 0.03, "bursts": 4,
+                        "events": 9, "msgs_emitted": 1,
+                        "event_alloc_fresh": 9, "event_alloc_reused": 0, "heap_shrinks": 0}],
+             "mailbox_depth": {"bounds": [], "counts": [0], "count": 0, "sum": 0, "max": 0},
+             "mailbox_latency_ns": {"bounds": [], "counts": [0], "count": 0, "sum": 0, "max": 0}}]}`)
+	m, err = ParseMetrics(wall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Source != "wall" {
+		t.Fatalf("Source = %q, want wall", m.Source)
+	}
+	if len(m.Sim) != 0 {
+		t.Fatalf("wall profile leaked into simulated metrics: %+v", m.Sim)
+	}
+	if m.Wall["w @ aurora wall.lane0.utilization"] != 0.66 || m.Wall["w @ aurora wall.rounds"] != 4 {
+		t.Fatalf("wall metrics = %+v", m.Wall)
+	}
+
+	for _, bad := range []string{"[]", "{}", `{"schema_version": 99, "cells": []}`,
+		`{"wall_schema_version": 99, "cells": []}`, "nonsense"} {
 		if _, err := ParseMetrics([]byte(bad)); err == nil {
 			t.Errorf("ParseMetrics(%q) accepted a bad export", bad)
 		}
+	}
+}
+
+func TestDiffReportsMissingWallStats(t *testing.T) {
+	old := &Metrics{Source: "bench",
+		Sim:  map[string]float64{"fom@Aurora": 10},
+		Wall: map[string]float64{"wall.run_ms": 5, "wall.lane_busy_ms": 4}}
+	new := &Metrics{Source: "bench",
+		Sim:  map[string]float64{"fom@Aurora": 10},
+		Wall: map[string]float64{"wall.run_ms": 5}}
+	res := Diff(old, new, DiffOptions{WallRelTol: 0.25})
+	if res.Failed() {
+		t.Fatalf("missing wall stat failed the diff: %+v", res)
+	}
+	if len(res.WallMissing) != 1 || res.WallMissing[0] != "wall.lane_busy_ms" {
+		t.Fatalf("WallMissing = %v, want [wall.lane_busy_ms]", res.WallMissing)
+	}
+	if len(res.Warnings) != 0 {
+		t.Fatalf("absent stat compared as zero: %+v", res.Warnings)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"pvcsim/internal/report"
 	"pvcsim/internal/sim"
 	"pvcsim/internal/topology"
+	"pvcsim/internal/wallprof"
 	"pvcsim/internal/workload"
 )
 
@@ -24,11 +25,14 @@ import (
 // Finish once to write the requested files plus a per-cell summary on
 // stderr.
 type ObsFlags struct {
-	Trace   string
-	Metrics string
-	Profile string
-	col     *obs.Collector
-	stats   *Stats
+	Trace     string
+	Metrics   string
+	Profile   string
+	Wall      string
+	WallTrace string
+	col       *obs.Collector
+	stats     *Stats
+	wc        *wallprof.Collector
 }
 
 // Register declares the flags on the flag set.
@@ -39,36 +43,64 @@ func (f *ObsFlags) Register(fs *flag.FlagSet) {
 		"write a machine-readable JSON metrics report (per-cell counters, simulated quantities only) to `file`")
 	fs.StringVar(&f.Profile, "profile", "",
 		"write a bound-attribution profile (per-cell residency under each resource ceiling) to `file`; inspect with pvcprof")
+	fs.StringVar(&f.Wall, "wallprof", "",
+		"write a wall-clock self-profile (per-lane utilization, barrier stalls, runner phases; host time, never simulated results) to `file`; inspect with pvcprof wall")
+	fs.StringVar(&f.WallTrace, "wall-trace", "",
+		"write a wall-time Chrome trace-event JSON timeline (lane bursts, barriers, runner phases) to `file`")
 }
 
 // Enabled reports whether any observability output was requested.
-func (f *ObsFlags) Enabled() bool { return f.Trace != "" || f.Metrics != "" || f.Profile != "" }
+func (f *ObsFlags) Enabled() bool {
+	return f.Trace != "" || f.Metrics != "" || f.Profile != "" || f.WallEnabled()
+}
+
+// WallEnabled reports whether a wall-clock self-profiling output was
+// requested.
+func (f *ObsFlags) WallEnabled() bool { return f.Wall != "" || f.WallTrace != "" }
 
 // Attach wires one shared collector into the runners when an output was
 // requested; with neither flag set it attaches nothing, keeping the hot
-// path recorder-free.
+// path recorder-free. The wall-clock collector attaches independently of
+// the simulated-observability collector: each rides only on its own
+// flags.
 func (f *ObsFlags) Attach(rs ...*Runner) {
 	if !f.Enabled() {
 		return
 	}
-	if f.col == nil {
+	simOut := f.Trace != "" || f.Metrics != "" || f.Profile != ""
+	if simOut && f.col == nil {
 		f.col = obs.NewCollector()
 		f.stats = &Stats{}
 	}
+	if f.WallEnabled() && f.wc == nil {
+		f.wc = wallprof.New()
+		if f.WallTrace != "" {
+			f.wc.EnableTimeline()
+		}
+	}
 	for _, r := range rs {
-		r.Observe(f.col)
-		r.AddHooks(f.stats)
+		if f.col != nil {
+			r.Observe(f.col)
+			r.AddHooks(f.stats)
+		}
+		if f.wc != nil {
+			r.ProfileWall(f.wc)
+		}
 	}
 }
+
+// WallCollector returns the wall-clock collector Attach created (nil
+// when no wall output was requested), so daemons can feed its totals
+// into live telemetry after a run.
+func (f *ObsFlags) WallCollector() *wallprof.Collector { return f.wc }
 
 // Finish writes the requested trace and metrics files and, when summary
 // is non-nil, the human-facing per-cell table. It is a no-op when
 // nothing was attached.
 func (f *ObsFlags) Finish(summary io.Writer) error {
-	if f.col == nil {
+	if f.col == nil && f.wc == nil {
 		return nil
 	}
-	rep := f.col.Report()
 	write := func(path string, render func(io.Writer) error) error {
 		file, err := os.Create(path)
 		if err != nil {
@@ -80,30 +112,55 @@ func (f *ObsFlags) Finish(summary io.Writer) error {
 		}
 		return file.Close()
 	}
-	if f.Trace != "" {
-		if err := write(f.Trace, rep.WriteChromeTrace); err != nil {
-			return fmt.Errorf("runner: writing trace: %w", err)
+	if f.col != nil {
+		rep := f.col.Report()
+		// The simulated-artifact exports are themselves a runner phase
+		// worth profiling: time them into the wall collector when one
+		// is attached.
+		var exportT0 int64
+		if f.wc != nil {
+			exportT0 = f.wc.Now()
+		}
+		if f.Trace != "" {
+			if err := write(f.Trace, rep.WriteChromeTrace); err != nil {
+				return fmt.Errorf("runner: writing trace: %w", err)
+			}
+		}
+		if f.Metrics != "" {
+			if err := write(f.Metrics, rep.WriteMetrics); err != nil {
+				return fmt.Errorf("runner: writing metrics: %w", err)
+			}
+		}
+		if f.Profile != "" {
+			if err := write(f.Profile, prof.Build(rep).WriteJSON); err != nil {
+				return fmt.Errorf("runner: writing profile: %w", err)
+			}
+		}
+		if f.wc != nil {
+			f.wc.AddExportNS(f.wc.Now() - exportT0)
+		}
+		if summary != nil {
+			if err := rep.Summary(summary); err != nil {
+				return err
+			}
+			// The lifecycle-hook tallies: wall-clock facts only, printed
+			// after the simulated summary so they can never be confused
+			// with results.
+			fmt.Fprintf(summary, "runner: %d computed, %d cache hit(s), %d panic(s) recovered\n",
+				f.stats.Computed(), f.stats.CacheHits(), f.stats.Panics())
 		}
 	}
-	if f.Metrics != "" {
-		if err := write(f.Metrics, rep.WriteMetrics); err != nil {
-			return fmt.Errorf("runner: writing metrics: %w", err)
+	if f.wc != nil {
+		if f.Wall != "" {
+			if err := write(f.Wall, f.wc.Report().WriteJSON); err != nil {
+				return fmt.Errorf("runner: writing wall profile: %w", err)
+			}
 		}
-	}
-	if f.Profile != "" {
-		if err := write(f.Profile, prof.Build(rep).WriteJSON); err != nil {
-			return fmt.Errorf("runner: writing profile: %w", err)
+		if f.WallTrace != "" {
+			if err := write(f.WallTrace, f.wc.WriteChromeTrace); err != nil {
+				return fmt.Errorf("runner: writing wall trace: %w", err)
+			}
 		}
-	}
-	if summary != nil {
-		if err := rep.Summary(summary); err != nil {
-			return err
-		}
-		// The lifecycle-hook tallies: wall-clock facts only, printed
-		// after the simulated summary so they can never be confused
-		// with results.
-		fmt.Fprintf(summary, "runner: %d computed, %d cache hit(s), %d panic(s) recovered\n",
-			f.stats.Computed(), f.stats.CacheHits(), f.stats.Panics())
 	}
 	return nil
 }

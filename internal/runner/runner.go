@@ -18,6 +18,7 @@ import (
 	"pvcsim/internal/gpusim"
 	"pvcsim/internal/obs"
 	"pvcsim/internal/topology"
+	"pvcsim/internal/wallprof"
 	"pvcsim/internal/workload"
 )
 
@@ -81,6 +82,7 @@ type Runner struct {
 	mu    sync.Mutex
 	memo  map[key]*entry
 	col   *obs.Collector
+	wall  *wallprof.Collector
 	hooks []Hooks
 }
 
@@ -103,6 +105,18 @@ func (r *Runner) Observe(c *obs.Collector) { r.col = c }
 
 // Collector returns the attached collector (nil when disabled).
 func (r *Runner) Collector() *obs.Collector { return r.col }
+
+// ProfileWall attaches a wall-clock self-profiling collector: every
+// computed cell gets machine build / workload simulate phase timings
+// plus an engine probe on its machine, and cache hits record the
+// waiter's blocked time. Like obs and the lifecycle hooks this is a
+// pure side channel — simulated results and exports are byte-identical
+// with or without it. Pass nil to detach.
+func (r *Runner) ProfileWall(c *wallprof.Collector) { r.wall = c }
+
+// WallProfiler returns the attached wall-clock collector (nil when
+// disabled).
+func (r *Runner) WallProfiler() *wallprof.Collector { return r.wall }
 
 // RunOne executes one cell (or returns its memoized result). The first
 // caller for a key computes it on a fresh machine; concurrent callers for
@@ -134,6 +148,12 @@ func (r *Runner) cell(ctx context.Context, sys topology.System, w workload.Workl
 		r.mu.Unlock()
 
 		if hit {
+			var cp *wallprof.CellProf
+			var waitT0 int64
+			if r.wall != nil {
+				cp = r.wall.Cell(obs.Key{Workload: w.Name(), System: sys.String(), Params: k.params})
+				waitT0 = cp.Now()
+			}
 			select {
 			case <-e.done:
 				if e.cancelled {
@@ -153,6 +173,9 @@ func (r *Runner) cell(ctx context.Context, sys topology.System, w workload.Workl
 				}
 				out.Result, out.Err, out.Elapsed, out.Cached = e.res, e.err, e.elapsed, true
 				r.hookCacheHit(sys.String(), w.Name())
+				if cp != nil {
+					cp.AddCacheHit(waitT0)
+				}
 			case <-ctx.Done():
 				out.Err = ctx.Err()
 			}
@@ -202,9 +225,21 @@ func (r *Runner) compute(ctx context.Context, sys topology.System, w workload.Wo
 	if err := ctx.Err(); err != nil {
 		return workload.Result{}, err
 	}
+	var cp *wallprof.CellProf
+	if r.wall != nil {
+		cp = r.wall.Cell(obs.Key{Workload: w.Name(), System: sys.String(), Params: workload.ParamsOf(w)})
+	}
+	var buildT0 int64
+	if cp != nil {
+		buildT0 = cp.Now()
+	}
 	m, merr := gpusim.New(topology.NewNode(sys))
 	if merr != nil {
 		return workload.Result{}, fmt.Errorf("runner: machine for %s: %w", sys, merr)
+	}
+	if cp != nil {
+		cp.AddBuild(buildT0)
+		m.Eng.SetWallProbe(cp.Probe())
 	}
 	if r.col != nil {
 		m.Observe(r.col.Cell(obs.Key{Workload: w.Name(), System: sys.String(), Params: workload.ParamsOf(w)}))
@@ -215,6 +250,12 @@ func (r *Runner) compute(ctx context.Context, sys topology.System, w workload.Wo
 			err = &PanicError{Workload: w.Name(), System: sys.String(), Value: p, Stack: debug.Stack()}
 		}
 	}()
+	if cp != nil {
+		// Registered after the recover defer, so it runs first and the
+		// simulate phase is recorded even when the workload panics.
+		simT0 := cp.Now()
+		defer func() { cp.AddSimulate(simT0) }()
+	}
 	res, err = w.Run(ctx, m)
 	if err != nil {
 		return workload.Result{}, fmt.Errorf("runner: %s on %s: %w", w.Name(), sys, err)

@@ -183,12 +183,17 @@ func (l *lane) schedule(delay units.Seconds, fn func()) {
 	}
 	l.seq++
 	var ev *event
+	reused := false
 	if n := len(l.free); n > 0 {
 		ev = l.free[n-1]
 		l.free[n-1] = nil
 		l.free = l.free[:n-1]
+		reused = true
 	} else {
 		ev = &event{}
+	}
+	if p := l.eng.probe; p != nil {
+		p.EventAlloc(int(l.id), reused)
 	}
 	ev.t, ev.seq, ev.fn = l.now+delay, l.seq, fn
 	heap.Push(&l.queue, ev)
@@ -206,6 +211,9 @@ func (l *lane) pop() *event {
 		copy(shrunk, l.queue)
 		l.queue = shrunk
 		l.highWater = len(l.queue)
+		if p := l.eng.probe; p != nil {
+			p.HeapShrink(int(l.id))
+		}
 	}
 	return ev
 }
@@ -270,6 +278,9 @@ func (l *lane) emit(m message) {
 	if m.t < l.capT {
 		l.capT = m.t
 	}
+	if p := l.eng.probe; p != nil {
+		p.MsgEmitted(int(l.id))
+	}
 }
 
 // deliver executes on the destination lane when a migration message
@@ -292,6 +303,7 @@ func (e *Engine) runLanes(deadline units.Seconds, bounded bool) {
 	inf := units.Seconds(math.Inf(1))
 	next := make([]units.Seconds, len(e.lanes))
 	active := make([]*lane, 0, len(e.lanes))
+	probe := e.probe
 	var pool *lanePool
 	defer func() {
 		if pool != nil {
@@ -299,7 +311,13 @@ func (e *Engine) runLanes(deadline units.Seconds, bounded bool) {
 		}
 	}()
 	for {
+		if probe != nil {
+			probe.BarrierStart()
+		}
 		e.deliverRound()
+		if probe != nil {
+			probe.BarrierEnd()
+		}
 		globalMin := inf
 		for i, l := range e.lanes {
 			next[i] = inf
@@ -326,6 +344,9 @@ func (e *Engine) runLanes(deadline units.Seconds, bounded bool) {
 			}
 		}
 		active = active[:0]
+		if probe != nil {
+			probe.RoundStart()
+		}
 		for i, l := range e.lanes {
 			bound := globalMin
 			//pvclint:ignore floateq same identity test as the min-count scan above: the horizon must widen only for the exact unique-minimum lane
@@ -338,6 +359,10 @@ func (e *Engine) runLanes(deadline units.Seconds, bounded bool) {
 			if next[i] <= bound {
 				l.capT = bound
 				active = append(active, l)
+			} else if probe != nil && !math.IsInf(float64(next[i]), 1) {
+				// The lane holds events but the epoch horizon excluded it:
+				// it stalls for the whole burst phase of this round.
+				probe.LaneStalled(i)
 			}
 		}
 		if e.workers > 1 && len(active) > 1 {
@@ -350,17 +375,29 @@ func (e *Engine) runLanes(deadline units.Seconds, bounded bool) {
 				l.burst()
 			}
 		}
+		if probe != nil {
+			probe.RoundEnd(len(active))
+		}
 	}
 }
 
 // burst advances one lane: pop and run events while t ≤ the cap (the
 // round horizon, tightened to the first emission time by emit).
 func (l *lane) burst() {
+	p := l.eng.probe
+	if p != nil {
+		p.BurstStart(int(l.id))
+	}
+	n := 0
 	for l.queue.Len() > 0 && l.queue[0].t <= l.capT {
 		ev := l.pop()
 		l.now = ev.t
 		ev.fn()
 		l.recycle(ev)
+		n++
+	}
+	if p != nil {
+		p.BurstEnd(int(l.id), n)
 	}
 }
 

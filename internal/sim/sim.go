@@ -37,6 +37,7 @@ type Engine struct {
 	lanes   []*lane
 	workers int
 	tracer  func(t units.Seconds, what string)
+	probe   WallProbe // wall-clock self-profiling hooks; nil = disabled
 }
 
 // NewEngine returns a ready-to-use simulation engine with the clock at 0
@@ -110,23 +111,39 @@ func (e *Engine) Schedule(delay units.Seconds, fn func()) {
 // manifest as silently missing results; the error names the signals and
 // resources holding the waiters.
 func (e *Engine) Run() error {
+	if p := e.probe; p != nil {
+		p.RunStart(len(e.lanes), e.workers)
+	}
 	if len(e.lanes) == 1 {
 		e.runSerial()
 	} else {
 		e.runLanes(0, false)
 	}
+	if p := e.probe; p != nil {
+		p.RunEnd()
+	}
 	return e.deadlockErr()
 }
 
 // runSerial is the classic single-heap event loop, taken when the engine
-// has exactly one lane — byte-for-byte the pre-lane behavior.
+// has exactly one lane — byte-for-byte the pre-lane behavior. The whole
+// drain is reported to the probe as a single lane-0 burst.
 func (e *Engine) runSerial() {
 	l := e.lanes[0]
+	p := e.probe
+	if p != nil {
+		p.BurstStart(0)
+	}
+	n := 0
 	for l.queue.Len() > 0 {
 		ev := l.pop()
 		l.now = ev.t
 		ev.fn()
 		l.recycle(ev)
+		n++
+	}
+	if p != nil {
+		p.BurstEnd(0, n)
 	}
 }
 
@@ -168,16 +185,31 @@ func (e *Engine) deadlockErr() error {
 // returns a deadlock error when live processes remain blocked with no
 // event anywhere to wake them.
 func (e *Engine) RunUntil(deadline units.Seconds) error {
+	p := e.probe
+	if p != nil {
+		p.RunStart(len(e.lanes), e.workers)
+	}
 	if len(e.lanes) == 1 {
 		l := e.lanes[0]
+		if p != nil {
+			p.BurstStart(0)
+		}
+		n := 0
 		for l.queue.Len() > 0 && l.queue[0].t <= deadline {
 			ev := l.pop()
 			l.now = ev.t
 			ev.fn()
 			l.recycle(ev)
+			n++
+		}
+		if p != nil {
+			p.BurstEnd(0, n)
 		}
 	} else {
 		e.runLanes(deadline, true)
+	}
+	if p != nil {
+		p.RunEnd()
 	}
 	for _, l := range e.lanes {
 		if l.now < deadline {

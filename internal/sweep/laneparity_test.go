@@ -15,6 +15,7 @@ import (
 	"pvcsim/internal/runner"
 	"pvcsim/internal/sim"
 	"pvcsim/internal/topology"
+	"pvcsim/internal/wallprof"
 )
 
 // exports bundles the three observability artifacts one run produces.
@@ -27,7 +28,10 @@ type exports struct {
 // runFamily executes one sweep-family workload through the same path
 // pvcbench uses — parallel study, observed runner, RunNamed — under the
 // given lane partition and lane worker count, and returns the exports.
-func runFamily(t *testing.T, name string, sharding, workers int) exports {
+// With profile set, a wall-clock self-profiling collector rides along
+// (timeline included, as -wall-trace would attach it); the exports must
+// not notice.
+func runFamily(t *testing.T, name string, sharding, workers int, profile bool) exports {
 	t.Helper()
 	gpusim.SetLaneSharding(sharding)
 	sim.SetDefaultWorkers(workers)
@@ -37,6 +41,12 @@ func runFamily(t *testing.T, name string, sharding, workers int) exports {
 	study := core.NewParallelStudy(1)
 	col := obs.NewCollector()
 	study.Runner().Observe(col)
+	var wall *wallprof.Collector
+	if profile {
+		wall = wallprof.New()
+		wall.EnableTimeline()
+		study.Runner().ProfileWall(wall)
+	}
 	if err := runner.RunNamed(context.Background(), io.Discard, study.Runner(), study.Registry(),
 		name, nil, false); err != nil {
 		t.Fatalf("%s [lanes=%d workers=%d]: %v", name, sharding, workers, err)
@@ -51,6 +61,22 @@ func runFamily(t *testing.T, name string, sharding, workers int) exports {
 	}
 	if err := prof.Build(rep).WriteJSON(&pr); err != nil {
 		t.Fatal(err)
+	}
+	if wall != nil {
+		// Render both wall exports so the full merge/report path runs,
+		// and require the profile to have actually measured the engine —
+		// a variant that silently stopped attaching would pass the
+		// parity checks vacuously.
+		if err := wall.Report().WriteJSON(io.Discard); err != nil {
+			t.Fatal(err)
+		}
+		if err := wall.WriteChromeTrace(io.Discard); err != nil {
+			t.Fatal(err)
+		}
+		if tot := wall.Report().Totals(); tot.BusySeconds <= 0 {
+			t.Fatalf("%s [lanes=%d workers=%d]: wallprof rode along but measured no lane busy time",
+				name, sharding, workers)
+		}
 	}
 	return exports{metrics: m.Bytes(), trace: tr.Bytes(), profile: pr.Bytes()}
 }
@@ -79,10 +105,10 @@ func TestLaneParitySweepExports(t *testing.T) {
 		t.Skip("runs full sweep cells across a 2×3 lane/worker matrix")
 	}
 	for _, family := range []string{"clover-scaling", "p2p"} {
-		want := runFamily(t, family, 1, 1)
+		want := runFamily(t, family, 1, 1, false)
 		for _, sharding := range []int{2, 4} {
 			for _, workers := range []int{1, 2, 4} {
-				got := runFamily(t, family, sharding, workers)
+				got := runFamily(t, family, sharding, workers, false)
 				if !bytes.Equal(got.metrics, want.metrics) {
 					t.Errorf("%s lanes=%d workers=%d: metrics diverge from serial at byte %d",
 						family, sharding, workers, firstDiff(got.metrics, want.metrics))
@@ -95,6 +121,40 @@ func TestLaneParitySweepExports(t *testing.T) {
 					t.Errorf("%s lanes=%d workers=%d: profile diverges from serial at byte %d",
 						family, sharding, workers, firstDiff(got.profile, want.profile))
 				}
+			}
+		}
+	}
+}
+
+// TestLaneParityWallprofSideChannel is the purity claim of the
+// self-profiling layer, stated as a parity sweep: runs with a wallprof
+// collector attached — under every lane partition × worker count —
+// must render metrics, trace, and profile exports byte-identical to the
+// serial reference that ran with no profiler at all. The wall-clock
+// layer is a pure side channel; it may observe the simulation but never
+// perturb it. clover-scaling is the subject because it genuinely drives
+// the event-lane engine (p2p is analytic — nothing for the probe to
+// see, so parity there would be vacuous).
+func TestLaneParityWallprofSideChannel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs sweep cells across a 2×3 lane/worker matrix with profiling attached")
+	}
+	const family = "clover-scaling"
+	want := runFamily(t, family, 1, 1, false)
+	for _, sharding := range []int{2, 4} {
+		for _, workers := range []int{1, 2, 4} {
+			got := runFamily(t, family, sharding, workers, true)
+			if !bytes.Equal(got.metrics, want.metrics) {
+				t.Errorf("wallprof lanes=%d workers=%d: metrics diverge from unprofiled serial at byte %d",
+					sharding, workers, firstDiff(got.metrics, want.metrics))
+			}
+			if !bytes.Equal(got.trace, want.trace) {
+				t.Errorf("wallprof lanes=%d workers=%d: chrome trace diverges from unprofiled serial at byte %d",
+					sharding, workers, firstDiff(got.trace, want.trace))
+			}
+			if !bytes.Equal(got.profile, want.profile) {
+				t.Errorf("wallprof lanes=%d workers=%d: profile diverges from unprofiled serial at byte %d",
+					sharding, workers, firstDiff(got.profile, want.profile))
 			}
 		}
 	}

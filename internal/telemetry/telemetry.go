@@ -58,7 +58,22 @@ type Telemetry struct {
 
 	// Simulated-observability health re-exported for scraping.
 	OrphanFinishes *Gauge
+
+	// Engine health, fed per run from the wall-clock self-profiling
+	// layer (ObserveEngine): how the event-lane engine spent host time.
+	EngineRounds    *Counter
+	EngineBarriers  *Counter
+	MailboxMessages *Counter
+	LaneBusy        *Counter      // seconds
+	LaneStall       *Counter      // seconds
+	BarrierWall     *Counter      // seconds
+	LaneUtilization *Histogram    // one sample per lane per run
+	PhaseWall       *HistogramVec // by phase: build | simulate | export
 }
+
+// UtilizationBuckets are the histogram bounds for per-lane busy
+// fractions (0..1).
+var UtilizationBuckets = []float64{0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}
 
 // New builds a Telemetry with every standard metric registered.
 func New() *Telemetry {
@@ -92,6 +107,65 @@ func New() *Telemetry {
 			"workload panics recovered into cell errors"),
 		OrphanFinishes: reg.Gauge("pvcsim_obs_orphan_finishes",
 			"obs collector Finish calls for cells that never registered a trace (runner bookkeeping bugs)"),
+		EngineRounds: reg.Counter("pvcsim_engine_rounds_total",
+			"parallel event-engine rounds executed (epoch horizon advances)"),
+		EngineBarriers: reg.Counter("pvcsim_engine_barriers_total",
+			"deterministic epoch barriers (cross-lane mailbox merges) executed"),
+		MailboxMessages: reg.Counter("pvcsim_engine_mailbox_messages_total",
+			"cross-lane messages merged at epoch barriers"),
+		LaneBusy: reg.Counter("pvcsim_engine_lane_busy_seconds_total",
+			"wall-clock seconds event lanes spent bursting events"),
+		LaneStall: reg.Counter("pvcsim_engine_lane_stall_seconds_total",
+			"wall-clock seconds event lanes with pending events were held back by the epoch horizon"),
+		BarrierWall: reg.Counter("pvcsim_engine_barrier_seconds_total",
+			"wall-clock seconds spent in serialized epoch barriers"),
+		LaneUtilization: reg.Histogram("pvcsim_engine_lane_utilization",
+			"per-lane busy fraction of engine wall time, one sample per lane per instrumented run",
+			UtilizationBuckets),
+		PhaseWall: reg.HistogramVec("pvcsim_runner_phase_seconds",
+			"wall-clock runner phase durations, by phase (build, simulate, export)",
+			WallBuckets, "phase"),
+	}
+}
+
+// EngineRunStats is one run's wall-clock self-profile totals, shaped so
+// wallprof.Totals satisfies it field-for-field without telemetry
+// importing wallprof (the daemon copies the values across
+// structurally). All durations are wall-clock seconds.
+type EngineRunStats struct {
+	Rounds          float64
+	Barriers        float64
+	MailboxMsgs     float64
+	BusySeconds     float64
+	StallSeconds    float64
+	BarrierSeconds  float64
+	LaneUtilization []float64 // one sample per lane of every instrumented cell
+	BuildSeconds    []float64 // one sample per cell
+	SimulateSeconds []float64
+	ExportSeconds   float64
+}
+
+// ObserveEngine folds one run's engine self-profile totals into the
+// scrapeable engine-health metrics. Like every telemetry input it is a
+// pure wall-clock side channel.
+func (t *Telemetry) ObserveEngine(s EngineRunStats) {
+	t.EngineRounds.Add(s.Rounds)
+	t.EngineBarriers.Add(s.Barriers)
+	t.MailboxMessages.Add(s.MailboxMsgs)
+	t.LaneBusy.Add(s.BusySeconds)
+	t.LaneStall.Add(s.StallSeconds)
+	t.BarrierWall.Add(s.BarrierSeconds)
+	for _, u := range s.LaneUtilization {
+		t.LaneUtilization.Observe(u)
+	}
+	for _, b := range s.BuildSeconds {
+		t.PhaseWall.With("build").Observe(b)
+	}
+	for _, sim := range s.SimulateSeconds {
+		t.PhaseWall.With("simulate").Observe(sim)
+	}
+	if s.ExportSeconds > 0 {
+		t.PhaseWall.With("export").Observe(s.ExportSeconds)
 	}
 }
 

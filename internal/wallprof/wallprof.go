@@ -1,0 +1,370 @@
+// Package wallprof is the simulator's wall-clock self-profiling layer:
+// it measures where the *host's* time goes while the deterministic
+// engine advances *simulated* time. It implements sim.WallProbe (per
+// engine) and collects runner phase timings (per cell), merging both
+// into a Report that renders as a utilization table, a folded-stack
+// flamegraph, or a wall-time Chrome trace.
+//
+// Contracts the layer lives under:
+//
+//   - The walltime analyzer bans time.* in simulation packages, so the
+//     clock lives here (an explicitly wall-clock-allowed package) and
+//     is injected: internal/sim only emits timing-free callbacks.
+//   - Lane callbacks follow the single-writer discipline from
+//     internal/obs: each lane writes only its own pre-grown buffer,
+//     and the host merges at barriers (mailbox drains) and at Report
+//     time. Buffers are grown only from host context (RunStart,
+//     build-time scheduling), never during a concurrent burst.
+//   - The whole layer is a pure side channel: it observes wall time
+//     and operation counts but never feeds anything back, so every
+//     simulated artifact is byte-identical with profiling on or off
+//     (enforced by the lane-parity sweep's wallprof variant).
+package wallprof
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"pvcsim/internal/obs"
+)
+
+// Clock returns monotonic nanoseconds since an arbitrary origin. One
+// clock is shared by everything a Collector owns, so spans from
+// different cells and lanes share a time base and compose into one
+// coherent timeline.
+type Clock func() int64
+
+// wallClock builds the default Clock from the runtime's monotonic
+// reading, anchored at creation.
+func wallClock() Clock {
+	base := time.Now()
+	return func() int64 { return int64(time.Since(base)) }
+}
+
+// Collector accumulates wall-clock self-profiling across the cells of
+// one run. Attach it to a runner with Runner.ProfileWall; the runner
+// hands each computed cell a CellProf, whose EngineProbe is installed
+// on the cell's machine. Cell is safe for concurrent use by runner
+// workers; each CellProf is then written only by the goroutine
+// computing that cell (the runner memo guarantees one computer per
+// key).
+type Collector struct {
+	clock    Clock
+	timeline bool
+
+	mu       sync.Mutex
+	cells    map[obs.Key]*CellProf
+	exportNS int64
+}
+
+// New builds a collector on the runtime monotonic clock.
+func New() *Collector { return NewWithClock(wallClock()) }
+
+// NewWithClock builds a collector on an injected clock — tests use a
+// counter to make every duration deterministic.
+func NewWithClock(c Clock) *Collector {
+	return &Collector{clock: c, cells: map[obs.Key]*CellProf{}}
+}
+
+// EnableTimeline buffers individual burst/barrier/phase intervals (not
+// just aggregates) so the report can render a wall-time Chrome trace.
+// Costs memory proportional to rounds × lanes; leave off unless a
+// -wall-trace export was requested.
+func (c *Collector) EnableTimeline() { c.timeline = true }
+
+// Cell returns the cell's profile, creating it on first use.
+func (c *Collector) Cell(k obs.Key) *CellProf {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cp, ok := c.cells[k]
+	if !ok {
+		cp = &CellProf{key: k, clock: c.clock, timeline: c.timeline}
+		c.cells[k] = cp
+	}
+	return cp
+}
+
+// Now reads the collector's clock; pair it with AddExportNS.
+func (c *Collector) Now() int64 { return c.clock() }
+
+// AddExport folds the run-level export phase (writing trace/metrics/
+// profile files) into the collector. Called once by the CLI layer.
+func (c *Collector) AddExport(d time.Duration) { c.AddExportNS(int64(d)) }
+
+// AddExportNS is AddExport for a raw nanosecond interval measured with
+// the collector's own clock (Now readings).
+func (c *Collector) AddExportNS(ns int64) {
+	c.mu.Lock()
+	c.exportNS += ns
+	c.mu.Unlock()
+}
+
+// CellProf is one cell's wall-clock profile: the runner phase timings
+// plus the engine probe. Phase adders are called by the goroutine
+// computing the cell; cache-hit adders may race between waiters and
+// take the mutex.
+type CellProf struct {
+	key      obs.Key
+	clock    Clock
+	timeline bool
+
+	mu          sync.Mutex
+	buildNS     int64
+	simNS       int64
+	cacheWaitNS int64
+	cacheHits   int64
+	phases      []phaseSpan // timeline only
+	probe       *EngineProbe
+}
+
+// phaseSpan is one timeline interval of a runner phase.
+type phaseSpan struct {
+	name       string
+	start, end int64
+}
+
+// addPhase accumulates a phase duration (and its interval in timeline
+// mode). start is a clock reading taken by the caller via Now.
+func (cp *CellProf) addPhase(name string, total *int64, start int64) {
+	end := cp.clock()
+	cp.mu.Lock()
+	*total += end - start
+	if cp.timeline {
+		cp.phases = append(cp.phases, phaseSpan{name: name, start: start, end: end})
+	}
+	cp.mu.Unlock()
+}
+
+// Now reads the collector's clock; pair it with AddBuild/AddSimulate.
+func (cp *CellProf) Now() int64 { return cp.clock() }
+
+// AddBuild records machine-construction wall time since start (a Now
+// reading).
+func (cp *CellProf) AddBuild(start int64) { cp.addPhase("build", &cp.buildNS, start) }
+
+// AddSimulate records workload-execution wall time since start.
+func (cp *CellProf) AddSimulate(start int64) { cp.addPhase("simulate", &cp.simNS, start) }
+
+// AddCacheHit records one memo-cache hit and the wall time the waiter
+// spent blocked on the computing goroutine.
+func (cp *CellProf) AddCacheHit(start int64) {
+	end := cp.clock()
+	cp.mu.Lock()
+	cp.cacheHits++
+	cp.cacheWaitNS += end - start
+	cp.mu.Unlock()
+}
+
+// Probe returns the cell's engine probe (created on first use),
+// suitable for sim.Engine.SetWallProbe. A cell that builds several
+// engines may install the same probe on each; runs accumulate.
+func (cp *CellProf) Probe() *EngineProbe {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if cp.probe == nil {
+		cp.probe = &EngineProbe{
+			clock: cp.clock, timeline: cp.timeline,
+			depth: newHist(depthBounds), latency: newHist(latencyBoundsNS),
+		}
+	}
+	return cp.probe
+}
+
+// EngineProbe implements sim.WallProbe: per-lane single-writer buffers
+// written from lane context, host-only round/barrier state, and a
+// drain of pending mailbox stamps at every barrier. The sim package's
+// round structure guarantees the required happens-before edges: lane
+// callbacks for one lane never overlap each other, and host callbacks
+// never overlap any burst.
+type EngineProbe struct {
+	clock    Clock
+	timeline bool
+
+	// Host-written run/round/barrier state.
+	laneCount   int
+	workers     int
+	runs        int64
+	runT0       int64
+	runNS       int64
+	rounds      int64
+	roundT0     int64
+	activeTotal int64
+	barriers    int64
+	barrierT0   int64
+	barrierNS   int64
+	stalled     []bool // per-round stall marks, reset at RoundStart
+	depth       Hist   // mailbox depth per barrier
+	latency     Hist   // mailbox enqueue→drain latency (ns)
+	barrierSpan []span // timeline only
+
+	lanes []*laneBuf
+}
+
+// span is one timeline interval.
+type span struct {
+	start, end int64
+	events     int
+}
+
+// laneBuf is one lane's single-writer buffer. Only the worker
+// currently bursting the lane writes it (plus the host while no burst
+// runs); the host reads it at barriers and at Report time.
+type laneBuf struct {
+	burstT0     int64
+	busyNS      int64
+	stallNS     int64
+	bursts      int64
+	events      int64
+	msgs        int64
+	allocFresh  int64
+	allocReused int64
+	shrinks     int64
+	emitTS      []int64 // pending mailbox stamps, drained at BarrierEnd
+	spans       []span  // timeline only
+}
+
+// grow ensures per-lane buffers exist for lane indices < n. Host
+// context only: RunStart (before any burst) and build-time scheduling.
+func (p *EngineProbe) grow(n int) {
+	for len(p.lanes) < n {
+		p.lanes = append(p.lanes, &laneBuf{})
+	}
+	for len(p.stalled) < n {
+		p.stalled = append(p.stalled, false)
+	}
+	if n > p.laneCount {
+		p.laneCount = n
+	}
+}
+
+// lane returns the buffer for a lane index, growing host-side when the
+// index is new (only ever needed before the engine runs).
+func (p *EngineProbe) lane(i int) *laneBuf {
+	if i >= len(p.lanes) {
+		p.grow(i + 1)
+	}
+	return p.lanes[i]
+}
+
+// RunStart implements sim.WallProbe.
+func (p *EngineProbe) RunStart(lanes, workers int) {
+	p.grow(lanes)
+	if workers > p.workers {
+		p.workers = workers
+	}
+	p.runs++
+	p.runT0 = p.clock()
+}
+
+// RunEnd implements sim.WallProbe.
+func (p *EngineProbe) RunEnd() { p.runNS += p.clock() - p.runT0 }
+
+// RoundStart implements sim.WallProbe.
+func (p *EngineProbe) RoundStart() {
+	p.rounds++
+	for i := range p.stalled {
+		p.stalled[i] = false
+	}
+	p.roundT0 = p.clock()
+}
+
+// LaneStalled implements sim.WallProbe.
+func (p *EngineProbe) LaneStalled(lane int) { p.stalled[lane] = true }
+
+// RoundEnd implements sim.WallProbe: the burst phase is over, so its
+// duration is charged as stall time to every lane the horizon held
+// back this round.
+func (p *EngineProbe) RoundEnd(active int) {
+	dt := p.clock() - p.roundT0
+	p.activeTotal += int64(active)
+	for i, st := range p.stalled {
+		if st {
+			p.lanes[i].stallNS += dt
+		}
+	}
+}
+
+// BarrierStart implements sim.WallProbe.
+func (p *EngineProbe) BarrierStart() {
+	p.barriers++
+	p.barrierT0 = p.clock()
+}
+
+// BarrierEnd implements sim.WallProbe: every message emitted since the
+// previous barrier has now been delivered, so the pending stamps drain
+// into the latency histogram and their count is the mailbox depth this
+// barrier cleared.
+func (p *EngineProbe) BarrierEnd() {
+	now := p.clock()
+	p.barrierNS += now - p.barrierT0
+	depth := 0
+	for _, lb := range p.lanes {
+		for _, ts := range lb.emitTS {
+			p.latency.Observe(now - ts)
+		}
+		depth += len(lb.emitTS)
+		lb.emitTS = lb.emitTS[:0]
+	}
+	p.depth.Observe(int64(depth))
+	if p.timeline {
+		p.barrierSpan = append(p.barrierSpan, span{start: p.barrierT0, end: now})
+	}
+}
+
+// BurstStart implements sim.WallProbe (lane context).
+func (p *EngineProbe) BurstStart(lane int) { p.lane(lane).burstT0 = p.clock() }
+
+// BurstEnd implements sim.WallProbe (lane context).
+func (p *EngineProbe) BurstEnd(lane int, events int) {
+	lb := p.lanes[lane]
+	now := p.clock()
+	lb.busyNS += now - lb.burstT0
+	lb.bursts++
+	lb.events += int64(events)
+	if p.timeline {
+		lb.spans = append(lb.spans, span{start: lb.burstT0, end: now, events: events})
+	}
+}
+
+// MsgEmitted implements sim.WallProbe (lane context).
+func (p *EngineProbe) MsgEmitted(lane int) {
+	lb := p.lanes[lane]
+	lb.msgs++
+	lb.emitTS = append(lb.emitTS, p.clock())
+}
+
+// EventAlloc implements sim.WallProbe (lane context).
+func (p *EngineProbe) EventAlloc(lane int, reused bool) {
+	lb := p.lane(lane)
+	if reused {
+		lb.allocReused++
+	} else {
+		lb.allocFresh++
+	}
+}
+
+// HeapShrink implements sim.WallProbe (lane context).
+func (p *EngineProbe) HeapShrink(lane int) { p.lanes[lane].shrinks++ }
+
+// sortedCells snapshots the cell map in deterministic (workload,
+// system, params) order — map iteration must never pick report order.
+func (c *Collector) sortedCells() []*CellProf {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*CellProf, 0, len(c.cells))
+	for _, cp := range c.cells {
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].key, out[j].key
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		if a.System != b.System {
+			return a.System < b.System
+		}
+		return a.Params < b.Params
+	})
+	return out
+}

@@ -1,0 +1,253 @@
+package wallprof_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"pvcsim/internal/obs"
+	"pvcsim/internal/sim"
+	"pvcsim/internal/units"
+	"pvcsim/internal/wallprof"
+)
+
+// tickClock is a deterministic injected clock: every reading advances
+// by one microsecond, so durations depend only on call counts.
+func tickClock() wallprof.Clock {
+	var t int64
+	return func() int64 {
+		t += 1000
+		return t
+	}
+}
+
+// runProbed drives a three-lane engine with cross-lane migrations under
+// a probed collector and returns the report.
+func runProbed(t *testing.T, c *wallprof.Collector) *wallprof.Report {
+	t.Helper()
+	cp := c.Cell(obs.Key{Workload: "w", System: "s"})
+	e := sim.NewEngine()
+	l1 := e.NewLane()
+	l2 := e.NewLane()
+	e.SetWallProbe(cp.Probe())
+	e.GoOn(l1, "hopper", func(p *sim.Proc) {
+		p.Hold(units.Seconds(1e-6))
+		p.MoveTo(l2)
+		p.Hold(units.Seconds(1e-6))
+		p.MoveTo(0)
+	})
+	e.GoOn(l2, "worker", func(p *sim.Proc) {
+		for i := 0; i < 4; i++ {
+			p.Hold(units.Seconds(2e-6))
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return c.Report()
+}
+
+func TestEngineProbeAccounting(t *testing.T) {
+	c := wallprof.NewWithClock(tickClock())
+	rep := runProbed(t, c)
+	if len(rep.Cells) != 1 {
+		t.Fatalf("cells = %d, want 1", len(rep.Cells))
+	}
+	cell := rep.Cells[0]
+	if cell.Name() != "w @ s" {
+		t.Errorf("cell name = %q", cell.Name())
+	}
+	if cell.EngineRuns != 1 {
+		t.Errorf("engine runs = %d, want 1", cell.EngineRuns)
+	}
+	if cell.Rounds == 0 || cell.Barriers == 0 {
+		t.Errorf("rounds=%d barriers=%d, want both > 0", cell.Rounds, cell.Barriers)
+	}
+	if len(cell.Lanes) != 3 {
+		t.Fatalf("lanes = %d, want 3", len(cell.Lanes))
+	}
+	var events, msgs, alloc int64
+	for _, l := range cell.Lanes {
+		events += l.Events
+		msgs += l.MsgsEmitted
+		alloc += l.AllocFresh + l.AllocReused
+		if l.BusyMS < 0 || l.StallMS < 0 {
+			t.Errorf("lane %d negative accounting: busy=%v stall=%v", l.Lane, l.BusyMS, l.StallMS)
+		}
+	}
+	if events == 0 {
+		t.Error("no events counted across lanes")
+	}
+	// Two MoveTo calls, the second relaying through lane 0: ≥ 2 emissions.
+	if msgs < 2 {
+		t.Errorf("msgs emitted = %d, want >= 2", msgs)
+	}
+	if alloc == 0 {
+		t.Error("no event allocations counted")
+	}
+	if cell.MailboxLatency.Count != msgs {
+		t.Errorf("latency samples = %d, want %d (every emission drains at a barrier)",
+			cell.MailboxLatency.Count, msgs)
+	}
+	if cell.MailboxDepth.Count != cell.Barriers {
+		t.Errorf("depth samples = %d, want one per barrier (%d)", cell.MailboxDepth.Count, cell.Barriers)
+	}
+	if cell.EngineRunMS <= 0 {
+		t.Errorf("engine run wall = %v, want > 0 under the tick clock", cell.EngineRunMS)
+	}
+}
+
+func TestSerialEngineIsOneBurst(t *testing.T) {
+	c := wallprof.NewWithClock(tickClock())
+	cp := c.Cell(obs.Key{Workload: "serial", System: "s"})
+	e := sim.NewEngine()
+	e.SetWallProbe(cp.Probe())
+	for i := 0; i < 5; i++ {
+		e.Schedule(units.Seconds(float64(i)*1e-6), func() {})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	cell := c.Report().Cells[0]
+	if cell.Rounds != 0 || cell.Barriers != 0 {
+		t.Errorf("serial run has rounds=%d barriers=%d, want 0/0", cell.Rounds, cell.Barriers)
+	}
+	if len(cell.Lanes) != 1 || cell.Lanes[0].Bursts != 1 || cell.Lanes[0].Events != 5 {
+		t.Errorf("serial drain: lanes=%+v, want one lane, one burst, five events", cell.Lanes)
+	}
+	if cell.Lanes[0].AllocFresh != 5 {
+		t.Errorf("alloc fresh = %d, want 5 (cold free-list)", cell.Lanes[0].AllocFresh)
+	}
+}
+
+func TestPhaseTimings(t *testing.T) {
+	c := wallprof.NewWithClock(tickClock())
+	cp := c.Cell(obs.Key{Workload: "w", System: "s"})
+	cp.AddBuild(cp.Now())
+	cp.AddSimulate(cp.Now())
+	cp.AddCacheHit(cp.Now())
+	c.AddExport(3 * time.Millisecond)
+	cell := c.Report().Cells[0]
+	if cell.BuildMS <= 0 || cell.SimulateMS <= 0 || cell.CacheWaitMS <= 0 {
+		t.Errorf("phase timings not recorded: %+v", cell)
+	}
+	if cell.CacheHits != 1 {
+		t.Errorf("cache hits = %d, want 1", cell.CacheHits)
+	}
+	if got := c.Report().ExportMS; got != 3 {
+		t.Errorf("export ms = %v, want 3", got)
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	c := wallprof.NewWithClock(tickClock())
+	rep := runProbed(t, c)
+
+	var human bytes.Buffer
+	if err := rep.WriteReport(&human); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Wall-clock self-profile", "LANE", "BUSY_MS", "STALL_MS", "mailbox"} {
+		if !strings.Contains(human.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, human.String())
+		}
+	}
+
+	var flame bytes.Buffer
+	if err := rep.WriteFlame(&flame); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(flame.String(), ";simulate;lane 0;busy ") {
+		t.Errorf("flame missing lane busy stack:\n%s", flame.String())
+	}
+
+	var js bytes.Buffer
+	if err := rep.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var back wallprof.Report
+	if err := json.Unmarshal(js.Bytes(), &back); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if back.WallSchema != wallprof.WallSchemaVersion {
+		t.Errorf("schema = %d, want %d", back.WallSchema, wallprof.WallSchemaVersion)
+	}
+}
+
+func TestChromeTraceTimeline(t *testing.T) {
+	c := wallprof.NewWithClock(tickClock())
+	c.EnableTimeline()
+	runProbed(t, c)
+	var buf bytes.Buffer
+	if err := c.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatal(err)
+	}
+	var bursts, barriers int
+	for _, ev := range tf.TraceEvents {
+		if ev.TS < 0 {
+			t.Errorf("negative timestamp on %q", ev.Name)
+		}
+		switch ev.Name {
+		case "burst":
+			bursts++
+		case "barrier":
+			barriers++
+		}
+	}
+	if bursts == 0 || barriers == 0 {
+		t.Errorf("timeline trace has %d bursts, %d barriers; want both > 0", bursts, barriers)
+	}
+	if !strings.Contains(buf.String(), "wall: w @ s") {
+		t.Error("trace missing the wall process name")
+	}
+}
+
+func TestTotals(t *testing.T) {
+	c := wallprof.NewWithClock(tickClock())
+	rep := runProbed(t, c)
+	tot := rep.Totals()
+	if tot.Rounds == 0 || tot.BusySeconds <= 0 || tot.MailboxMsgs < 2 {
+		t.Errorf("totals = %+v, want rounds/busy/msgs populated", tot)
+	}
+	if len(tot.LaneUtilization) != 3 {
+		t.Errorf("lane utilization samples = %d, want 3", len(tot.LaneUtilization))
+	}
+}
+
+// TestProbeIsSideChannel reruns the identical model with and without a
+// probe and requires identical simulated end times — the probe can
+// observe but never steer.
+func TestProbeIsSideChannel(t *testing.T) {
+	run := func(probed bool) units.Seconds {
+		e := sim.NewEngine()
+		l1 := e.NewLane()
+		if probed {
+			c := wallprof.New()
+			e.SetWallProbe(c.Cell(obs.Key{Workload: "x", System: "y"}).Probe())
+		}
+		e.GoOn(l1, "p", func(p *sim.Proc) {
+			p.Hold(units.Seconds(5e-6))
+			p.MoveTo(0)
+			p.Hold(units.Seconds(5e-6))
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Now()
+	}
+	if off, on := run(false), run(true); off != on {
+		t.Errorf("probe changed simulated time: off=%v on=%v", off, on)
+	}
+}

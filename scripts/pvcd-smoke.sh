@@ -80,6 +80,20 @@ grep -q '^pvcd_runs_started_total 1$' "$WORKDIR/metrics.txt"
 grep -q '^pvcd_runs_completed_total 1$' "$WORKDIR/metrics.txt"
 grep -q '^pvcd_runs_failed_total 0$' "$WORKDIR/metrics.txt"
 
+echo "== engine-health metrics from the wall-clock self-profile are scraped"
+grep -q '^pvcsim_engine_rounds_total ' "$WORKDIR/metrics.txt"
+grep -q '^pvcsim_engine_barriers_total ' "$WORKDIR/metrics.txt"
+grep -q '^pvcsim_engine_mailbox_messages_total ' "$WORKDIR/metrics.txt"
+grep -q '^pvcsim_engine_lane_busy_seconds_total ' "$WORKDIR/metrics.txt"
+grep -q '^pvcsim_engine_lane_stall_seconds_total ' "$WORKDIR/metrics.txt"
+grep -q '^pvcsim_engine_barrier_seconds_total ' "$WORKDIR/metrics.txt"
+grep -q 'pvcsim_runner_phase_seconds_count{phase="simulate"} ' "$WORKDIR/metrics.txt"
+# clover-scaling drives the event-lane engine, so busy time must move.
+if grep -q '^pvcsim_engine_lane_busy_seconds_total 0$' "$WORKDIR/metrics.txt"; then
+  echo "engine lane busy time stayed zero after a simulating run" >&2
+  exit 1
+fi
+
 echo "== graceful shutdown: SIGTERM must exit 0 within 10s"
 kill -TERM "$PVCD_PID"
 exited=""
