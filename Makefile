@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet build lint test race bench artifacts trace-demo profile-demo sweep-demo wallprof-demo bench-record bench-check lane-parity serve-demo smoke clean
+.PHONY: check vet build lint test race bench artifacts trace-demo profile-demo sweep-demo wallprof-demo bench-record bench-check lane-parity serve-demo smoke loadtest-demo clean
 
 check: vet build lint race
 
@@ -118,9 +118,19 @@ serve-demo: build
 	$(GO) run ./cmd/pvcd -addr :8321 -jobs 0
 
 # End-to-end daemon smoke test: boot, readiness, one run over the API,
-# strict-parse /metrics, graceful SIGTERM drain. Same script CI runs.
+# SSE replay with Last-Event-ID resume, strict-parse /metrics (request
+# latency SLO histogram included), history journal + restart survival,
+# graceful SIGTERM drain. Same script CI runs.
 smoke: build
 	./scripts/pvcd-smoke.sh
+
+# Service-latency demo: boot pvcd with the run-history journal, fire
+# repeat wait-mode requests from the built-in `pvcd loadtest` client,
+# and assert p50/p95/p99 latency is reported, repeats are served from
+# the completed-run cache, and the journal round-trips byte-exactly
+# and renders a `pvcprof history` trend table. Same script CI runs.
+loadtest-demo: build
+	./scripts/loadtest-demo.sh
 
 clean:
 	rm -rf artifacts trace-demo.json profile-demo.json profile-demo.folded sweep-demo.json bench-current.json \

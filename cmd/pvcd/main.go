@@ -4,31 +4,46 @@
 // Usage:
 //
 //	pvcd [-addr :8321] [-jobs N] [-drain-timeout 5s]
+//	     [-history history.jsonl] [-sse-keepalive 15s]
 //	     [-log-format text|json] [-log-level info]
 //	pvcd -validate-metrics metrics.txt
+//	pvcd -validate-history history.jsonl
+//	pvcd loadtest [-addr host:port] [-requests N] [-concurrency N] ...
 //
 // API:
 //
 //	GET  /v1/workloads             list every registry cell the sweep families expand to
-//	POST /v1/runs                  submit {"workload","systems","jobs","artifacts"}
+//	POST /v1/runs                  submit {"workload","systems","jobs","artifacts","wait"}
 //	GET  /v1/runs                  list run summaries
 //	GET  /v1/runs/{id}             status, live progress counters, final cells
 //	GET  /v1/runs/{id}/metrics     the run's simulated metrics export (obs JSON)
 //	GET  /v1/runs/{id}/artifacts   deterministic zip of the paper artifact set
-//	GET  /v1/runs/{id}/events      SSE stream of per-cell lifecycle events
+//	GET  /v1/runs/{id}/events      SSE stream of per-cell lifecycle events (Last-Event-ID resumes)
+//	GET  /v1/history               the persistent run-history journal (404 without -history)
+//	GET  /v1/reqtrace              request/run traces as Chrome trace-event JSON
 //	GET  /metrics                  Prometheus text format (see DESIGN.md §10)
 //	GET  /healthz, /readyz         liveness / readiness (503 while draining)
 //
-// Telemetry is a strict wall-clock side channel: simulated results
-// returned by the API are byte-identical to the CLIs' output with any
-// worker count, with or without scrapers attached. On SIGTERM/SIGINT
-// the daemon flips /readyz to 503, refuses new runs, drains in-flight
-// runs up to -drain-timeout, then exits 0.
+// Every response carries an X-Trace-ID header correlating it with the
+// /v1/reqtrace track, the run-history journal, and the
+// pvcsim_http_request_duration_seconds latency histogram (labelled by
+// route and outcome). Telemetry, tracing, and history are strict
+// wall-clock side channels: simulated results returned by the API are
+// byte-identical to the CLIs' output with any worker count, with or
+// without scrapers attached, and with the journal on or off. On
+// SIGTERM/SIGINT the daemon flips /readyz to 503, refuses new runs,
+// drains in-flight runs up to -drain-timeout, then exits 0.
 //
 // -validate-metrics parses a saved /metrics page with the strict
 // exposition-format parser and checks the standard run counters are
 // present; the CI smoke job uses it so "scrapeable" means parseable,
-// not merely grep-matchable.
+// not merely grep-matchable. -validate-history strict-parses a run
+// journal and proves every record round-trips byte-exactly.
+//
+// The loadtest subcommand drives synchronous (wait-mode) runs at a
+// fixed concurrency against a live daemon and reports latency
+// percentiles and outcome rates from the same histogram code path the
+// daemon's own SLO metrics use.
 package main
 
 import (
@@ -43,6 +58,7 @@ import (
 	"syscall"
 	"time"
 
+	"pvcsim/internal/history"
 	"pvcsim/internal/runner"
 	"pvcsim/internal/telemetry"
 )
@@ -52,6 +68,9 @@ func main() {
 }
 
 func run(args []string) int {
+	if len(args) > 0 && args[0] == "loadtest" {
+		return runLoadtest(args[1:], os.Stdout, os.Stderr)
+	}
 	fs := flag.NewFlagSet("pvcd", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
 	addr := fs.String("addr", ":8321", "listen address")
@@ -59,6 +78,9 @@ func run(args []string) int {
 	laneJobs := runner.LaneJobsFlag(fs)
 	drain := fs.Duration("drain-timeout", 5*time.Second, "how long to wait for in-flight runs on shutdown")
 	validate := fs.String("validate-metrics", "", "parse a saved /metrics page strictly, check the run counters, and exit")
+	historyPath := fs.String("history", "", "append-only JSONL run-history journal; empty disables history")
+	sseKeepalive := fs.Duration("sse-keepalive", 15*time.Second, "idle interval between SSE keepalive comments")
+	validateHistory := fs.String("validate-history", "", "strict-parse a run-history journal, prove byte-exact round-trips, and exit")
 	var logf telemetry.LogFlags
 	logf.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -81,12 +103,34 @@ func run(args []string) int {
 		fmt.Printf("%s parses as Prometheus text format and carries the run counters\n", *validate)
 		return 0
 	}
+	if *validateHistory != "" {
+		n, err := history.Validate(*validateHistory)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pvcd: validate-history:", err)
+			return 1
+		}
+		fmt.Printf("%s holds %d record(s); every one round-trips byte-exactly\n", *validateHistory, n)
+		return 0
+	}
 
 	if *jobs <= 0 {
 		*jobs = 0 // runner.New treats 0 as NumCPU; keep daemon default dynamic
 	}
 	runner.ApplyLaneJobs(*laneJobs, *jobs)
 	s := newServer(logger, *jobs)
+	if *sseKeepalive > 0 {
+		s.sseKeepalive = *sseKeepalive
+	}
+	if *historyPath != "" {
+		j, err := history.Open(*historyPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pvcd:", err)
+			return 2
+		}
+		defer j.Close()
+		s.journal = j
+		logger.Info("run history enabled", "path", j.Path(), "records", j.Len())
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: s.handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)

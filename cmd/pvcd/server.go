@@ -8,13 +8,16 @@ import (
 	"log/slog"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"pvcsim/internal/core"
+	"pvcsim/internal/history"
 	"pvcsim/internal/obs"
+	"pvcsim/internal/reqtrace"
 	"pvcsim/internal/runner"
 	"pvcsim/internal/sweep"
 	"pvcsim/internal/telemetry"
@@ -38,6 +41,13 @@ type runSpec struct {
 	// deterministic zip at /v1/runs/{id}/artifacts. Requires Workload
 	// to be empty: the artifact study spans the whole registry.
 	Artifacts bool `json:"artifacts,omitempty"`
+	// Wait turns the submission synchronous: the response is the final
+	// run status instead of 202+links. Wait-mode submissions whose spec
+	// matches an already-completed run are answered from the completed-
+	// run cache (results are deterministic, so the cached response is
+	// byte-identical to a recompute) — the request/response pattern
+	// `pvcd loadtest` measures.
+	Wait bool `json:"wait,omitempty"`
 }
 
 // cellJSON is one cell's final state in GET /v1/runs/{id}.
@@ -104,13 +114,25 @@ func (b *broadcaster) wake() {
 	b.mu.Unlock()
 }
 
-// wait blocks until events beyond from exist (returning them) or the
-// stream closed with nothing newer (returning done=true). The caller
-// arranges cond.Broadcast on context cancellation and re-checks ctx.
-func (b *broadcaster) wait(ctx context.Context, from int) (evs []event, done bool) {
+// wait blocks until events beyond from exist (returning them), the
+// stream closed with nothing newer (returning done=true), or timeout
+// elapsed (returning an empty, not-done batch — the SSE handler's
+// keepalive tick; 0 disables the timeout). The caller arranges
+// cond.Broadcast on context cancellation and re-checks ctx.
+func (b *broadcaster) wait(ctx context.Context, from int, timeout time.Duration) (evs []event, done bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	for len(b.history) <= from && !b.closed && ctx.Err() == nil {
+	timedOut := false
+	if timeout > 0 {
+		timer := time.AfterFunc(timeout, func() {
+			b.mu.Lock()
+			timedOut = true
+			b.cond.Broadcast()
+			b.mu.Unlock()
+		})
+		defer timer.Stop()
+	}
+	for len(b.history) <= from && !b.closed && ctx.Err() == nil && !timedOut {
 		b.cond.Wait()
 	}
 	if len(b.history) > from {
@@ -146,11 +168,14 @@ func (h sseHooks) CellPanic(sys, name string, err error) {
 
 // run is one submitted execution.
 type apiRun struct {
-	id    string
-	spec  runSpec
-	bcast *broadcaster
-	stats *runner.Stats
-	total int
+	id       string
+	spec     runSpec
+	bcast    *broadcaster
+	stats    *runner.Stats
+	total    int
+	trace    *reqtrace.Trace // the run's own trace (distinct from any HTTP request's)
+	start    time.Time
+	cacheKey string
 
 	mu           sync.Mutex
 	status       string // running | done | failed
@@ -165,6 +190,7 @@ type apiRun struct {
 // statusJSON is the GET /v1/runs/{id} response.
 type statusJSON struct {
 	ID            string     `json:"id"`
+	TraceID       string     `json:"trace_id,omitempty"`
 	Status        string     `json:"status"`
 	Spec          runSpec    `json:"spec"`
 	CellsTotal    int        `json:"cells_total"`
@@ -172,6 +198,7 @@ type statusJSON struct {
 	CellsFinished int64      `json:"cells_finished"`
 	CacheHits     int64      `json:"cache_hits"`
 	Panics        int64      `json:"panics"`
+	Cached        bool       `json:"cached,omitempty"` // answered from the completed-run cache
 	Error         string     `json:"error,omitempty"`
 	Cells         []cellJSON `json:"cells,omitempty"`
 }
@@ -185,20 +212,31 @@ type server struct {
 	reg         *workload.Registry
 	defaultJobs int
 
+	// tracer threads request/run correlation IDs through every handler
+	// and runner (reqtrace); journal persists completed runs (history;
+	// nil = disabled). Both are wall-clock side channels: simulated
+	// exports are byte-identical with them on or off.
+	tracer       *reqtrace.Tracer
+	journal      *history.Journal
+	sseKeepalive time.Duration
+
 	draining atomic.Bool
 	wg       sync.WaitGroup
 
 	runCtx    context.Context
 	runCancel context.CancelFunc
 
-	mu     sync.Mutex
-	runs   map[string]*apiRun
-	order  []string
-	nextID int
+	mu        sync.Mutex
+	runs      map[string]*apiRun
+	order     []string
+	nextID    int
+	specCache map[string]string // canonical spec key → completed run id
 }
 
 // newServer builds a daemon around a fresh telemetry set and the
-// default workload registry.
+// default workload registry. History is off until the caller sets
+// s.journal (the -history flag); the SSE keepalive interval is a field
+// so tests can shorten it.
 func newServer(log *slog.Logger, defaultJobs int) *server {
 	if defaultJobs <= 0 {
 		defaultJobs = 1
@@ -206,26 +244,81 @@ func newServer(log *slog.Logger, defaultJobs int) *server {
 	tele := telemetry.New()
 	ctx, cancel := context.WithCancel(context.Background())
 	return &server{
-		log:         log,
-		tele:        tele,
-		teleHooks:   tele.Hooks(),
-		reg:         sweep.DefaultRegistry(),
-		defaultJobs: defaultJobs,
-		runCtx:      ctx,
-		runCancel:   cancel,
-		runs:        map[string]*apiRun{},
+		log:          log,
+		tele:         tele,
+		teleHooks:    tele.Hooks(),
+		reg:          sweep.DefaultRegistry(),
+		defaultJobs:  defaultJobs,
+		tracer:       reqtrace.New(),
+		sseKeepalive: 15 * time.Second,
+		runCtx:       ctx,
+		runCancel:    cancel,
+		runs:         map[string]*apiRun{},
+		specCache:    map[string]string{},
 	}
 }
 
-// handler builds the HTTP mux. Every route increments the request
-// counter under a fixed route label (never the raw path, which would
-// explode cardinality).
+// statusWriter captures the response status for outcome labeling. It
+// forwards Flush so the SSE handler can stream through it.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// outcomeForStatus maps an HTTP status to the default outcome label;
+// handlers pin finer-grained outcomes (cache-hit, panic) on the trace.
+func outcomeForStatus(code int) string {
+	switch {
+	case code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable:
+		return reqtrace.OutcomeRejected
+	case code >= 500:
+		return reqtrace.OutcomeError
+	case code >= 400:
+		return reqtrace.OutcomeClientError
+	default:
+		return reqtrace.OutcomeOK
+	}
+}
+
+// handler builds the HTTP mux. Every route runs inside the correlation
+// middleware: a per-request trace (ID echoed as X-Trace-ID, spans
+// visible at /v1/reqtrace), the request counter, and the latency
+// histogram, all under a fixed route label (never the raw path, which
+// would explode cardinality).
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	handle := func(pattern, route string, h http.HandlerFunc) {
 		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 			s.tele.HTTPRequests.With(route).Inc()
-			h(w, r)
+			tr := s.tracer.Start(route)
+			w.Header().Set("X-Trace-ID", tr.ID())
+			sw := &statusWriter{ResponseWriter: w}
+			h(sw, r.WithContext(reqtrace.WithTrace(r.Context(), tr)))
+			if sw.status == 0 {
+				sw.status = http.StatusOK // handler wrote nothing: implicit 200
+			}
+			d := tr.Finish(outcomeForStatus(sw.status))
+			s.tele.HTTPDuration.With(route, tr.Outcome()).Observe(d.Seconds())
 		})
 	}
 	handle("GET /healthz", "healthz", s.handleHealthz)
@@ -238,6 +331,8 @@ func (s *server) handler() http.Handler {
 	handle("GET /v1/runs/{id}/metrics", "run_metrics", s.handleRunMetrics)
 	handle("GET /v1/runs/{id}/artifacts", "run_artifacts", s.handleRunArtifacts)
 	handle("GET /v1/runs/{id}/events", "run_events", s.handleEvents)
+	handle("GET /v1/history", "history", s.handleHistory)
+	handle("GET /v1/reqtrace", "reqtrace", s.handleReqtrace)
 	return mux
 }
 
@@ -345,6 +440,15 @@ func (s *server) resolveCells(spec runSpec) ([]runner.Cell, error) {
 	return cells, nil
 }
 
+// specCacheKey canonicalizes the result-determining part of a spec.
+// Jobs and Wait are excluded on purpose: results are deterministic
+// across any -jobs setting (the determinism tests prove it), so two
+// specs differing only there produce byte-identical outputs.
+func specCacheKey(spec runSpec) string {
+	return fmt.Sprintf("w=%s|s=%s|a=%t",
+		spec.Workload, strings.Join(spec.Systems, ","), spec.Artifacts)
+}
+
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		apiError(w, http.StatusServiceUnavailable, "daemon is draining")
@@ -371,13 +475,38 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	key := specCacheKey(spec)
+	if spec.Wait {
+		// Only synchronous submissions consult the completed-run cache:
+		// async clients may be probing live lifecycle events, and the
+		// existing determinism tests rely on repeat submissions running.
+		s.mu.Lock()
+		prevID, ok := s.specCache[key]
+		prev := s.runs[prevID]
+		s.mu.Unlock()
+		if ok && prev != nil {
+			s.tele.RunCacheHits.Inc()
+			if tr := reqtrace.TraceFrom(r.Context()); tr != nil {
+				tr.AddSpan("cache-lookup", "completed-run cache hit: "+prevID, tr.Now())
+				tr.SetOutcome(reqtrace.OutcomeCacheHit)
+			}
+			st := s.statusOf(prev)
+			st.Cached = true
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(st)
+			return
+		}
+	}
+
 	s.mu.Lock()
 	s.nextID++
 	id := fmt.Sprintf("r%04d", s.nextID)
 	rn := &apiRun{
 		id: id, spec: spec, bcast: newBroadcaster(),
 		stats: &runner.Stats{}, total: len(cells),
-		status: "running", done: make(chan struct{}),
+		trace: s.tracer.Start("run " + id), start: time.Now(),
+		cacheKey: key,
+		status:   "running", done: make(chan struct{}),
 	}
 	s.runs[id] = rn
 	s.order = append(s.order, id)
@@ -389,15 +518,39 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	ctx := telemetry.WithRunID(s.runCtx, id)
 	s.log.InfoContext(ctx, "run accepted",
 		"workload", spec.Workload, "systems", strings.Join(spec.Systems, ","),
-		"jobs", s.jobsFor(spec), "cells", len(cells), "artifacts", spec.Artifacts)
+		"jobs", s.jobsFor(spec), "cells", len(cells), "artifacts", spec.Artifacts,
+		"trace", rn.trace.ID())
 	go s.execute(ctx, rn, cells)
+
+	if spec.Wait {
+		select {
+		case <-rn.done:
+		case <-r.Context().Done():
+			// The run keeps executing; the client just stopped waiting.
+			apiError(w, http.StatusRequestTimeout, "client went away while waiting for run %s", id)
+			return
+		}
+		st := s.statusOf(rn)
+		if tr := reqtrace.TraceFrom(r.Context()); tr != nil {
+			switch {
+			case st.Status == "failed" && st.Panics > 0:
+				tr.SetOutcome(reqtrace.OutcomePanic)
+			case st.Status == "failed":
+				tr.SetOutcome(reqtrace.OutcomeError)
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(st)
+		return
+	}
 
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
 	json.NewEncoder(w).Encode(map[string]any{
-		"id":     id,
-		"status": rn.status,
-		"cells":  len(cells),
+		"id":       id,
+		"status":   rn.status,
+		"cells":    len(cells),
+		"trace_id": rn.trace.ID(),
 		"links": map[string]string{
 			"status":  "/v1/runs/" + id,
 			"events":  "/v1/runs/" + id + "/events",
@@ -436,41 +589,51 @@ func (s *server) execute(ctx context.Context, rn *apiRun, cells []runner.Cell) {
 	}
 	col := obs.NewCollector()
 	r.Observe(col)
-	// Wall-clock self-profiling rides along on every run: its totals
-	// feed the engine-health metrics scraped at /metrics. A pure side
-	// channel — the simulated artifacts below are unaffected.
+	// Wall-clock self-profiling and request tracing ride along on every
+	// run: wallprof totals feed the engine-health metrics scraped at
+	// /metrics, and the run's trace records queue-wait / run /
+	// cache-lookup spans per cell. Pure side channels — the simulated
+	// artifacts below are unaffected.
 	wall := wallprof.New()
 	r.ProfileWall(wall)
 	r.AddHooks(s.teleHooks)
 	r.AddHooks(rn.stats)
 	r.AddHooks(sseHooks{b: rn.bcast})
+	r.AddHooks(rn.trace.RunHooks())
 
 	results := r.Run(ctx, cells)
 
-	wt := wall.Report().Totals()
-	s.tele.ObserveEngine(telemetry.EngineRunStats{
-		Rounds:          wt.Rounds,
-		Barriers:        wt.Barriers,
-		MailboxMsgs:     wt.MailboxMsgs,
-		BusySeconds:     wt.BusySeconds,
-		StallSeconds:    wt.StallSeconds,
-		BarrierSeconds:  wt.BarrierSeconds,
-		LaneUtilization: wt.LaneUtilization,
-		BuildSeconds:    wt.BuildSeconds,
-		SimulateSeconds: wt.SimulateSeconds,
-		ExportSeconds:   wt.ExportSeconds,
-	})
-
+	// Export phase: render the downloadable artifacts and the metrics
+	// JSON, timed into both the wallprof report and the run's trace.
+	expWall, expTrace := wall.Now(), rn.trace.Now()
 	var zipBytes []byte
 	var artErr error
 	if study != nil && ctx.Err() == nil {
 		zipBytes, artErr = renderArtifactsZip(study)
 	}
-
 	rep := col.Report()
 	s.tele.AddOrphanFinishes(rep.OrphanFinishes)
 	var metricsBuf bytes.Buffer
 	metricsErr := rep.WriteMetrics(&metricsBuf)
+	wall.AddExportNS(wall.Now() - expWall)
+	rn.trace.AddSpanAt("export", "artifacts + metrics render", expTrace, rn.trace.Now())
+
+	wallRep := wall.Report()
+	refineTraceSpans(rn.trace, wallRep)
+	wt := wallRep.Totals()
+	s.tele.ObserveEngine(telemetry.EngineRunStats{
+		Rounds:           wt.Rounds,
+		Barriers:         wt.Barriers,
+		MailboxMsgs:      wt.MailboxMsgs,
+		BusySeconds:      wt.BusySeconds,
+		StallSeconds:     wt.StallSeconds,
+		BarrierSeconds:   wt.BarrierSeconds,
+		LaneUtilization:  wt.LaneUtilization,
+		BuildSeconds:     wt.BuildSeconds,
+		SimulateSeconds:  wt.SimulateSeconds,
+		CacheWaitSeconds: wt.CacheWaitSeconds,
+		ExportSeconds:    wt.ExportSeconds,
+	})
 
 	rn.mu.Lock()
 	rn.status = "done"
@@ -503,13 +666,118 @@ func (s *server) execute(ctx context.Context, rn *apiRun, cells []runner.Cell) {
 	} else {
 		s.tele.RunsFailed.Inc()
 	}
+	outcome := reqtrace.OutcomeOK
+	switch {
+	case status == "failed" && rn.stats.Panics() > 0:
+		outcome = reqtrace.OutcomePanic
+	case status == "failed":
+		outcome = reqtrace.OutcomeError
+	}
+	rn.trace.Finish(outcome)
+
+	if status == "done" {
+		s.mu.Lock()
+		s.specCache[rn.cacheKey] = rn.id
+		s.mu.Unlock()
+	}
+	if s.journal != nil {
+		if err := s.journal.Append(s.historyRecord(rn, results, wt)); err != nil {
+			s.log.ErrorContext(ctx, "history append failed", "err", err)
+		}
+	}
+
 	rn.bcast.publish(event{Phase: "run-done", Status: status})
 	rn.bcast.close()
 	close(rn.done)
 	s.log.InfoContext(ctx, "run finished", "status", status,
 		"wall", time.Since(start).Round(time.Millisecond).String(),
 		"computed", rn.stats.Computed(), "cache_hits", rn.stats.CacheHits(),
-		"panics", rn.stats.Panics())
+		"panics", rn.stats.Panics(), "trace", rn.trace.ID())
+}
+
+// refineTraceSpans back-fills build/simulate spans into the run trace
+// from the wallprof report. Hooks only see cell start/finish; wallprof
+// knows how the computed time split, so each cell's "run" span gains a
+// build span followed by a simulate span of the measured durations
+// (placement is sequential from the run span's start — the real order).
+func refineTraceSpans(tr *reqtrace.Trace, rep *wallprof.Report) {
+	runStart := map[string]int64{}
+	for _, sp := range tr.Spans() {
+		if sp.Name == "run" {
+			runStart[sp.Detail] = sp.Start
+		}
+	}
+	for i := range rep.Cells {
+		c := &rep.Cells[i]
+		st, ok := runStart[c.Workload+" @ "+c.System]
+		if !ok {
+			continue
+		}
+		buildNS := int64(c.BuildMS * 1e6)
+		simNS := int64(c.SimulateMS * 1e6)
+		if buildNS > 0 {
+			tr.AddSpanAt("build", c.Workload+" @ "+c.System, st, st+buildNS)
+		}
+		if simNS > 0 {
+			tr.AddSpanAt("simulate", c.Workload+" @ "+c.System, st+buildNS, st+buildNS+simNS)
+		}
+	}
+}
+
+// historyRecord freezes one finished run into its journal record. Sim
+// keys use the bench format "workload:metric[/scope]@system" so
+// `pvcprof history` can diff them against BENCH_*.json baselines.
+func (s *server) historyRecord(rn *apiRun, results []runner.CellResult, wt wallprof.Totals) history.Record {
+	rn.mu.Lock()
+	status := rn.status
+	rn.mu.Unlock()
+	workload := rn.spec.Workload
+	if workload == "" {
+		workload = "all"
+	}
+	rec := history.Record{
+		ID:        rn.id,
+		TraceID:   rn.trace.ID(),
+		Start:     rn.start.UTC().Format(time.RFC3339Nano),
+		Workload:  workload,
+		Systems:   rn.spec.Systems,
+		Status:    status,
+		Cells:     len(results),
+		CacheHits: rn.stats.CacheHits(),
+		Panics:    rn.stats.Panics(),
+		Wall: history.WallStats{
+			RunMS:       float64(time.Since(rn.start)) / float64(time.Millisecond),
+			ExportMS:    wt.ExportSeconds * 1e3,
+			CacheWaitMS: sumSeconds(wt.CacheWaitSeconds) * 1e3,
+			BuildMS:     sumSeconds(wt.BuildSeconds) * 1e3,
+			SimulateMS:  sumSeconds(wt.SimulateSeconds) * 1e3,
+		},
+	}
+	for _, res := range results {
+		if res.Err != nil {
+			continue
+		}
+		for _, v := range res.Result.Values {
+			key := res.Name + ":" + v.Metric
+			if v.Scope != "" {
+				key += "/" + v.Scope
+			}
+			if rec.Sim == nil {
+				rec.Sim = map[string]float64{}
+			}
+			rec.Sim[key+"@"+res.System.String()] = v.Value
+		}
+	}
+	return rec
+}
+
+// sumSeconds folds per-cell second samples into one total.
+func sumSeconds(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t
 }
 
 // get looks a run up by the request's {id}.
@@ -526,8 +794,12 @@ func (s *server) get(w http.ResponseWriter, r *http.Request) *apiRun {
 func (s *server) statusOf(rn *apiRun) statusJSON {
 	rn.mu.Lock()
 	defer rn.mu.Unlock()
+	traceID := ""
+	if rn.trace != nil {
+		traceID = rn.trace.ID()
+	}
 	return statusJSON{
-		ID: rn.id, Status: rn.status, Spec: rn.spec,
+		ID: rn.id, TraceID: traceID, Status: rn.status, Spec: rn.spec,
 		CellsTotal:    rn.total,
 		CellsStarted:  rn.stats.Started(),
 		CellsFinished: rn.stats.Finished(),
@@ -621,6 +893,22 @@ func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
+
+	// A reconnecting EventSource client sends the last id it saw; resume
+	// one past it instead of replaying the whole history.
+	idx := 0
+	if last := r.Header.Get("Last-Event-ID"); last != "" {
+		if n, err := strconv.Atoi(last); err == nil && n >= 0 {
+			idx = n + 1
+			s.tele.SSEResumes.Inc()
+		}
+	}
+
+	// An immediate keepalive comment proves the stream is live before
+	// any event exists (and gives the smoke test a deterministic marker);
+	// later ones are emitted whenever wait times out idle.
+	fmt.Fprint(w, ": keepalive\n\n")
+	s.tele.SSEKeepalives.Inc()
 	flusher.Flush()
 
 	ctx := r.Context()
@@ -630,9 +918,14 @@ func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		rn.bcast.wake()
 	}()
 
-	idx := 0
 	for {
-		evs, done := rn.bcast.wait(ctx, idx)
+		evs, done := rn.bcast.wait(ctx, idx, s.sseKeepalive)
+		if len(evs) == 0 && !done && ctx.Err() == nil {
+			fmt.Fprint(w, ": keepalive\n\n")
+			s.tele.SSEKeepalives.Inc()
+			flusher.Flush()
+			continue
+		}
 		for _, e := range evs {
 			name := "cell"
 			if e.Phase == "run-done" {
@@ -649,6 +942,43 @@ func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		if done || ctx.Err() != nil {
 			return
 		}
+	}
+}
+
+// handleHistory serves the persistent run-history journal (newest
+// last). 404 when the daemon booted without -history.
+func (s *server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	if s.journal == nil {
+		apiError(w, http.StatusNotFound, "history disabled; start pvcd with -history")
+		return
+	}
+	recs := s.journal.Records()
+	if lim := r.URL.Query().Get("limit"); lim != "" {
+		n, err := strconv.Atoi(lim)
+		if err != nil || n < 0 {
+			apiError(w, http.StatusBadRequest, "bad limit %q", lim)
+			return
+		}
+		if n < len(recs) {
+			recs = recs[len(recs)-n:]
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"schema_version": history.SchemaVersion,
+		"path":           s.journal.Path(),
+		"count":          len(recs),
+		"records":        recs,
+	})
+}
+
+// handleReqtrace serves the retained request/run traces as Chrome
+// trace-event JSON — the third Perfetto track next to the simulated
+// (obs) and wall-lane (wallprof) exports.
+func (s *server) handleReqtrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.tracer.WriteChromeTrace(w); err != nil {
+		s.log.Error("reqtrace export failed", "err", err)
 	}
 }
 

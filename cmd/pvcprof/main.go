@@ -12,6 +12,7 @@
 //	pvcprof wall report wall.json          per-lane utilization / stall tables
 //	pvcprof wall flame wall.json           wall-time folded stacks
 //	pvcprof wall diff [flags] a.json b.json compare two wall self-profiles
+//	pvcprof history [flags] history.jsonl  pvcd run-history trends + regression flags
 //
 // diff accepts any pvcsim export — a -profile file, a -metrics file, a
 // -wallprof file, or a bench record array (the last record is compared)
@@ -42,6 +43,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -74,8 +76,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runBench(args[1:], stdout, stderr)
 	case "wall":
 		return runWall(args[1:], stdout, stderr)
+	case "history":
+		return runHistory(args[1:], stdout, stderr)
 	default:
-		fmt.Fprintf(stderr, "pvcprof: unknown subcommand %q (want report, flame, diff, bench, or wall)\n", args[0])
+		fmt.Fprintf(stderr, "pvcprof: unknown subcommand %q (want report, flame, diff, bench, wall, or history)\n", args[0])
 		return 2
 	}
 }
@@ -272,6 +276,9 @@ func runDiff(args []string, stdout, stderr io.Writer) int {
 	for _, l := range res.Warnings {
 		fmt.Fprintf(stdout, "warn %s\n", l)
 	}
+	for _, n := range res.Notes {
+		fmt.Fprintf(stdout, "note %s\n", n)
+	}
 	for _, m := range res.Added {
 		fmt.Fprintf(stdout, "note %s: new metric, no baseline\n", m)
 	}
@@ -365,10 +372,11 @@ func runBench(args []string, stdout, stderr io.Writer) int {
 		simMS += s * 1e3
 	}
 	rec := prof.Record{
-		Schema: prof.SchemaVersion,
-		Date:   *date,
-		Label:  *label,
-		Sim:    map[string]float64{},
+		Schema:    prof.BenchSchemaVersion,
+		Date:      *date,
+		Label:     *label,
+		GoVersion: runtime.Version(),
+		Sim:       map[string]float64{},
 		Wall: prof.WallStats{
 			RunMS:        float64(wall) / float64(time.Millisecond),
 			Jobs:         *jobs,

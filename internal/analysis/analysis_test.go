@@ -123,6 +123,14 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		// and the allowlist again wins over a sim segment.
 		{dir: "walltime", asPath: "pvcsim/internal/wallprof/fixture", noWants: true},
 		{dir: "walltime", asPath: "pvcsim/internal/wallprof/sim/fixture", noWants: true},
+		// The request-correlation layer and the run-history journal are
+		// wall-clock side channels like telemetry/wallprof: spans and
+		// journal timestamps measure the service, never the simulation.
+		// The sim-segment variants keep the allowlist entries honest.
+		{dir: "walltime", asPath: "pvcsim/internal/reqtrace/fixture", noWants: true},
+		{dir: "walltime", asPath: "pvcsim/internal/reqtrace/sim/fixture", noWants: true},
+		{dir: "walltime", asPath: "pvcsim/internal/history/fixture", noWants: true},
+		{dir: "walltime", asPath: "pvcsim/internal/history/sim/fixture", noWants: true},
 		{dir: "maprange", asPath: "pvcsim/internal/report/fixture"},
 		// Schedule-sensitive sites: admitting events/procs from a map
 		// range leaks iteration order into the lane mailbox merge.

@@ -123,9 +123,11 @@ var simulationSegments = []string{
 // wall clock: the self-profiling layer owns the injected clock that
 // internal/sim's timing-free WallProbe callbacks are measured against.
 // The ban on sim packages stands precisely because wallprof exists: sim
-// emits callbacks, wallprof reads the clock. cmd wins over a sim
-// segment, so cmd/apps is allowed.
-var wallClockAllowed = []string{"cmd", "runner", "telemetry", "wallprof"}
+// emits callbacks, wallprof reads the clock. reqtrace (request
+// correlation spans) and history (run-journal timestamps) are the same
+// kind of side channel: they measure the service, never the
+// simulation. cmd wins over a sim segment, so cmd/apps is allowed.
+var wallClockAllowed = []string{"cmd", "runner", "telemetry", "wallprof", "reqtrace", "history"}
 
 // isSimulationPackage classifies an import path under the walltime /
 // floateq contract.

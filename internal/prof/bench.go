@@ -41,15 +41,25 @@ func (w WallStats) HasSelfProfile() bool {
 		w.EngineRounds != 0 || w.MailboxMsgs != 0 || w.MeanLaneUtil != 0
 }
 
+// BenchSchemaVersion stamps records `pvcprof bench` writes. It is
+// versioned independently of the profile export's SchemaVersion (the
+// two formats evolve separately; early records conflated them).
+// History: v1 = records without go_version; v2 adds go_version and the
+// independent schema number. Readers never reject an unknown version —
+// Diff reports the schema asymmetry as a note instead of silently
+// comparing fields one side cannot have.
+const BenchSchemaVersion = 2
+
 // Record is one canonical bench entry: the simulated figures of merit
 // (deterministic, diffable exactly) plus the wall-clock cost of
 // producing them (the simulator's own performance trajectory).
 type Record struct {
-	Schema int                `json:"schema_version"`
-	Date   string             `json:"date"` // YYYY-MM-DD, stamped by the caller
-	Label  string             `json:"label,omitempty"`
-	Sim    map[string]float64 `json:"sim"` // "metric@system" → simulated value
-	Wall   WallStats          `json:"wall"`
+	Schema    int                `json:"schema_version"`
+	Date      string             `json:"date"` // YYYY-MM-DD, stamped by the caller
+	Label     string             `json:"label,omitempty"`
+	GoVersion string             `json:"go_version,omitempty"` // runtime.Version() of the writing build (schema ≥ 2)
+	Sim       map[string]float64 `json:"sim"`                  // "metric@system" → simulated value
+	Wall      WallStats          `json:"wall"`
 }
 
 // ReadRecords loads a bench file (a JSON array of Records). A missing

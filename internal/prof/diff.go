@@ -19,6 +19,12 @@ type Metrics struct {
 	Source string // "profile", "metrics", "bench", or "wall"
 	Sim    map[string]float64
 	Wall   map[string]float64
+
+	// Bench-record provenance, used by Diff to annotate cross-schema
+	// comparisons instead of silently comparing fields one side cannot
+	// carry. Zero/empty for non-bench sources.
+	BenchSchema int
+	GoVersion   string
 }
 
 // ParseMetrics auto-detects the format of a pvcsim export and flattens
@@ -109,7 +115,8 @@ func flattenRunReport(r *obs.RunReport) *Metrics {
 }
 
 func flattenBench(r Record) *Metrics {
-	m := &Metrics{Source: "bench", Sim: map[string]float64{}, Wall: map[string]float64{}}
+	m := &Metrics{Source: "bench", Sim: map[string]float64{}, Wall: map[string]float64{},
+		BenchSchema: r.Schema, GoVersion: r.GoVersion}
 	for k, v := range r.Sim {
 		m.Sim[k] = v
 	}
@@ -199,6 +206,7 @@ type DiffResult struct {
 	Missing     []string // metrics present in old but absent in new — also regressions
 	Added       []string // metrics new grew; informational
 	WallMissing []string // wall stats present in old but absent in new — reported, never failed
+	Notes       []string // provenance asymmetries (schema versions, toolchains); informational
 }
 
 // Failed reports whether the diff should exit nonzero.
@@ -222,6 +230,27 @@ func (o DiffOptions) tolFor(name string, wall bool) float64 {
 // FailOnWall. Output ordering is the sorted metric-name union.
 func Diff(old, new *Metrics, opt DiffOptions) *DiffResult {
 	res := &DiffResult{}
+	// Cross-schema bench comparisons stay legal (old baselines must keep
+	// gating new builds) but never silent: fields introduced between
+	// schemas surface as added/WallMissing entries with a note naming the
+	// versions, mirroring how WallMissing handles pre-wallprof records —
+	// an absent field is "not recorded", never zero.
+	if old.Source == "bench" && new.Source == "bench" && old.BenchSchema != new.BenchSchema {
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"bench schema_version differs: old %d vs new %d; fields introduced between schemas are reported as added or missing, never compared as zero",
+			old.BenchSchema, new.BenchSchema))
+	}
+	if old.GoVersion != new.GoVersion && (old.GoVersion != "" || new.GoVersion != "") {
+		orEmpty := func(s string) string {
+			if s == "" {
+				return "(unrecorded)"
+			}
+			return s
+		}
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"go toolchain differs: old %s vs new %s; wall-clock drift across toolchains is expected",
+			orEmpty(old.GoVersion), orEmpty(new.GoVersion)))
+	}
 	compare := func(oldVals, newVals map[string]float64, wall bool) {
 		names := make([]string, 0, len(oldVals))
 		for n := range oldVals {

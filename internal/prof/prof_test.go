@@ -329,6 +329,64 @@ func TestDiffMissingAndAddedAndOverrides(t *testing.T) {
 	}
 }
 
+func TestDiffNotesSchemaAndToolchainAsymmetry(t *testing.T) {
+	// A v1 baseline (no go_version) gating a v2 build: the comparison
+	// must still run on the shared metrics, and the provenance
+	// asymmetry must surface as notes, never as silent zero-compares.
+	old := benchMetrics(100, 5)
+	old.BenchSchema = 1
+	new := benchMetrics(100, 5)
+	new.BenchSchema = BenchSchemaVersion
+	new.GoVersion = "go1.24.0"
+	res := Diff(old, new, DiffOptions{})
+	if res.Failed() {
+		t.Fatalf("cross-schema diff of identical metrics failed: %+v", res)
+	}
+	if len(res.Notes) != 2 {
+		t.Fatalf("Notes = %v, want schema + toolchain notes", res.Notes)
+	}
+	if !strings.Contains(res.Notes[0], "schema_version differs: old 1 vs new 2") {
+		t.Errorf("schema note = %q", res.Notes[0])
+	}
+	if !strings.Contains(res.Notes[1], "old (unrecorded) vs new go1.24.0") {
+		t.Errorf("toolchain note = %q", res.Notes[1])
+	}
+
+	// Same schema, same toolchain: no notes.
+	res = Diff(new, new, DiffOptions{})
+	if len(res.Notes) != 0 {
+		t.Fatalf("symmetric provenance produced notes: %v", res.Notes)
+	}
+
+	// Non-bench sources never get the schema note even when the zero
+	// values differ from a bench record's.
+	prof := &Metrics{Source: "profile", Sim: map[string]float64{"a": 1}, Wall: map[string]float64{}}
+	res = Diff(prof, prof, DiffOptions{})
+	if len(res.Notes) != 0 {
+		t.Fatalf("profile diff produced provenance notes: %v", res.Notes)
+	}
+}
+
+func TestBenchRecordCarriesGoVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	rec := Record{Schema: BenchSchemaVersion, Date: "2026-08-08", GoVersion: "go1.24.0",
+		Sim: map[string]float64{"fom@Aurora": 10}, Wall: WallStats{RunMS: 5, Jobs: 1, Cells: 1}}
+	if err := AppendRecord(path, rec); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadRecords(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Schema != 2 || recs[0].GoVersion != "go1.24.0" {
+		t.Fatalf("record = %+v", recs[0])
+	}
+	m := flattenBench(recs[0])
+	if m.BenchSchema != 2 || m.GoVersion != "go1.24.0" {
+		t.Fatalf("flattenBench lost provenance: %+v", m)
+	}
+}
+
 func TestBenchRecords(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH.json")
 	recs, err := ReadRecords(path)

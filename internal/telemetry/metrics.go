@@ -219,6 +219,56 @@ func (h *Histogram) Count() uint64 {
 	return h.s.count
 }
 
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	h.s.mu.Lock()
+	defer h.s.mu.Unlock()
+	return h.s.sum
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket
+// counts, interpolating linearly inside the matched bucket the way
+// PromQL's histogram_quantile does. The estimate's resolution is the
+// bucket width; it never exceeds the data. Returns NaN for an empty
+// histogram; when the target falls in the +Inf bucket it returns the
+// highest finite bound (the histogram cannot resolve beyond it).
+func (h *Histogram) Quantile(q float64) float64 {
+	h.s.mu.Lock()
+	defer h.s.mu.Unlock()
+	if h.s.count == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.s.count)
+	var cum uint64
+	for i, raw := range h.s.buckets {
+		cum += raw
+		if float64(cum) < target || raw == 0 {
+			continue
+		}
+		if i >= len(h.f.bounds) {
+			// +Inf bucket: clamp to the largest finite bound.
+			if len(h.f.bounds) == 0 {
+				return math.NaN()
+			}
+			return h.f.bounds[len(h.f.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.f.bounds[i-1]
+		}
+		hi := h.f.bounds[i]
+		frac := (target - float64(cum-raw)) / float64(raw)
+		return lo + (hi-lo)*frac
+	}
+	return h.f.bounds[len(h.f.bounds)-1]
+}
+
 // Histogram registers a label-less histogram with the given ascending
 // upper bounds (+Inf is implicit).
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {

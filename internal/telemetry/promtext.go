@@ -15,20 +15,27 @@ import (
 // (`pvcd -validate-metrics`), and CI to prove that /metrics output is
 // well-formed Prometheus text — not merely grep-matchable.
 
-// Sample is one parsed time series sample.
+// Sample is one parsed time series sample. LabelNames preserves the
+// label order as written — WritePrometheus emits labels in declaration
+// order with "le" last, and WriteText re-renders in the same order so
+// a page round-trips byte-identically.
 type Sample struct {
-	Name   string
-	Labels map[string]string
-	Value  float64
+	Name       string
+	Labels     map[string]string
+	LabelNames []string
+	Value      float64
 }
 
 // Family is one parsed metric family: its declared TYPE, HELP, and
 // every sample that belongs to it (including _bucket/_sum/_count for
-// histograms).
+// histograms). HasHelp records whether a # HELP line was present, so
+// WriteText can reproduce it (an empty Help string alone cannot
+// distinguish "no HELP line" from "HELP with empty text").
 type Family struct {
 	Name    string
 	Type    string
 	Help    string
+	HasHelp bool
 	Samples []Sample
 }
 
@@ -157,6 +164,7 @@ func parseComment(fams Families, line string) error {
 			fam = &Family{Name: name}
 			fams[name] = fam
 		}
+		fam.HasHelp = true
 		if len(fields) == 4 {
 			fam.Help = fields[3]
 		}
@@ -200,10 +208,11 @@ func parseSample(line string) (Sample, error) {
 	}
 	rest = rest[i:]
 	if rest[0] == '{' {
-		end, err := parseLabels(rest, s.Labels)
+		end, names, err := parseLabels(rest, s.Labels)
 		if err != nil {
 			return s, fmt.Errorf("sample %s: %w", s.Name, err)
 		}
+		s.LabelNames = names
 		rest = rest[end:]
 	}
 	fields := strings.Fields(rest)
@@ -219,38 +228,40 @@ func parseSample(line string) (Sample, error) {
 }
 
 // parseLabels parses a {a="b",...} block starting at text[0] == '{' and
-// returns the index just past the closing brace.
-func parseLabels(text string, into map[string]string) (int, error) {
+// returns the index just past the closing brace plus the label names in
+// written order.
+func parseLabels(text string, into map[string]string) (int, []string, error) {
 	i := 1
+	var names []string
 	for {
 		for i < len(text) && (text[i] == ',' || text[i] == ' ') {
 			i++
 		}
 		if i < len(text) && text[i] == '}' {
-			return i + 1, nil
+			return i + 1, names, nil
 		}
 		eq := strings.IndexByte(text[i:], '=')
 		if eq < 0 {
-			return 0, fmt.Errorf("unterminated label block")
+			return 0, nil, fmt.Errorf("unterminated label block")
 		}
 		name := text[i : i+eq]
 		if !labelNameRE.MatchString(name) {
-			return 0, fmt.Errorf("invalid label name %q", name)
+			return 0, nil, fmt.Errorf("invalid label name %q", name)
 		}
 		i += eq + 1
 		if i >= len(text) || text[i] != '"' {
-			return 0, fmt.Errorf("label %s: value not quoted", name)
+			return 0, nil, fmt.Errorf("label %s: value not quoted", name)
 		}
 		i++
 		var val strings.Builder
 		for {
 			if i >= len(text) {
-				return 0, fmt.Errorf("label %s: unterminated value", name)
+				return 0, nil, fmt.Errorf("label %s: unterminated value", name)
 			}
 			c := text[i]
 			if c == '\\' {
 				if i+1 >= len(text) {
-					return 0, fmt.Errorf("label %s: trailing backslash", name)
+					return 0, nil, fmt.Errorf("label %s: trailing backslash", name)
 				}
 				switch text[i+1] {
 				case '\\':
@@ -260,7 +271,7 @@ func parseLabels(text string, into map[string]string) (int, error) {
 				case 'n':
 					val.WriteByte('\n')
 				default:
-					return 0, fmt.Errorf("label %s: bad escape \\%c", name, text[i+1])
+					return 0, nil, fmt.Errorf("label %s: bad escape \\%c", name, text[i+1])
 				}
 				i += 2
 				continue
@@ -273,9 +284,10 @@ func parseLabels(text string, into map[string]string) (int, error) {
 			i++
 		}
 		if _, dup := into[name]; dup {
-			return 0, fmt.Errorf("duplicate label %s", name)
+			return 0, nil, fmt.Errorf("duplicate label %s", name)
 		}
 		into[name] = val.String()
+		names = append(names, name)
 	}
 }
 
@@ -360,6 +372,43 @@ func checkHistogram(fam *Family) error {
 		}
 		if last != g.count {
 			return fmt.Errorf("histogram %s{%s}: +Inf bucket %g != count %g", fam.Name, key, last, g.count)
+		}
+	}
+	return nil
+}
+
+// WriteText re-renders a parsed page in the registry's canonical form:
+// families sorted by name, # HELP (when present as parsed) then
+// # TYPE, then samples in parsed order with labels in parsed order. A
+// page produced by WritePrometheus round-trips byte-identically
+// (emit → ParseMetrics → WriteText — the round-trip property test);
+// any accepted page re-renders to an equivalent page that reparses to
+// the same families (the fuzz harness checks this on every input).
+func (fs Families) WriteText(w io.Writer) error {
+	names := make([]string, 0, len(fs))
+	for name := range fs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fam := fs[name]
+		if fam.HasHelp {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam.Name, fam.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam.Name, fam.Type); err != nil {
+			return err
+		}
+		for _, s := range fam.Samples {
+			values := make([]string, len(s.LabelNames))
+			for i, ln := range s.LabelNames {
+				values[i] = s.Labels[ln]
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %s\n",
+				s.Name, labelPairs(s.LabelNames, values, "", ""), formatValue(s.Value)); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -18,13 +18,22 @@ func familiesEquivalent(a, b Families) bool {
 		if !ok || fa == nil || fb == nil {
 			return false
 		}
-		if fa.Name != fb.Name || fa.Type != fb.Type || fa.Help != fb.Help || len(fa.Samples) != len(fb.Samples) {
+		if fa.Name != fb.Name || fa.Type != fb.Type || fa.Help != fb.Help ||
+			fa.HasHelp != fb.HasHelp || len(fa.Samples) != len(fb.Samples) {
 			return false
 		}
 		for i := range fa.Samples {
 			sa, sb := fa.Samples[i], fb.Samples[i]
 			if sa.Name != sb.Name || math.Float64bits(sa.Value) != math.Float64bits(sb.Value) || len(sa.Labels) != len(sb.Labels) {
 				return false
+			}
+			if len(sa.LabelNames) != len(sb.LabelNames) {
+				return false
+			}
+			for j := range sa.LabelNames {
+				if sa.LabelNames[j] != sb.LabelNames[j] {
+					return false
+				}
 			}
 			for k, v := range sa.Labels {
 				if got, ok := sb.Labels[k]; !ok || got != v {
@@ -56,6 +65,18 @@ func FuzzParseMetrics(f *testing.F) {
 		"# TYPE pvc_nan gauge\npvc_nan NaN\n",
 		"# TYPE pvc_x counter\npvc_x{a=\"b\",} 1\n",
 		"# TYPE d histogram\nd_bucket{le=\"+Inf\"} 2\nd_sum 1\nd_count 3\n", // +Inf != count
+		// Labelled histogram series like the request-latency SLO metric:
+		// route/outcome labels with le last, the shape Quantile reads.
+		"# HELP pvcsim_http_request_duration_seconds wall-clock HTTP request latency, by route and outcome\n" +
+			"# TYPE pvcsim_http_request_duration_seconds histogram\n" +
+			"pvcsim_http_request_duration_seconds_bucket{route=\"runs_submit\",outcome=\"ok\",le=\"0.005\"} 1\n" +
+			"pvcsim_http_request_duration_seconds_bucket{route=\"runs_submit\",outcome=\"ok\",le=\"+Inf\"} 2\n" +
+			"pvcsim_http_request_duration_seconds_sum{route=\"runs_submit\",outcome=\"ok\"} 0.25\n" +
+			"pvcsim_http_request_duration_seconds_count{route=\"runs_submit\",outcome=\"ok\"} 2\n",
+		// Quantile-ish summary lines: a plain gauge family carrying a
+		// quantile label must parse as ordinary labelled samples.
+		"# TYPE pvc_latency gauge\npvc_latency{quantile=\"0.5\"} 0.01\npvc_latency{quantile=\"0.99\"} 1.5\n",
+		"# HELP only_help has help but no type\n",
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))
@@ -87,6 +108,19 @@ func FuzzParseMetrics(f *testing.F) {
 					t.Fatalf("family %q has a sample with no name", name)
 				}
 			}
+		}
+		// Every accepted page re-renders to a page that parses back to
+		// the same families — WriteText loses nothing the parser kept.
+		var rendered bytes.Buffer
+		if err := fams.WriteText(&rendered); err != nil {
+			t.Fatalf("WriteText on accepted parse: %v", err)
+		}
+		refams, err := ParseMetrics(bytes.NewReader(rendered.Bytes()))
+		if err != nil {
+			t.Fatalf("re-rendered page does not parse: %v\npage:\n%s", err, rendered.String())
+		}
+		if !familiesEquivalent(fams, refams) {
+			t.Fatalf("re-rendered page parses differently\noriginal %q\nrendered %q", data, rendered.String())
 		}
 	})
 }

@@ -45,7 +45,11 @@ type Telemetry struct {
 	RunsCompleted *Counter
 	RunsFailed    *Counter
 	RunsInflight  *Gauge
-	HTTPRequests  *CounterVec // by route
+	HTTPRequests  *CounterVec   // by route
+	HTTPDuration  *HistogramVec // by route and outcome (ok | cache-hit | error | panic | rejected | client-error)
+	RunCacheHits  *Counter
+	SSEKeepalives *Counter
+	SSEResumes    *Counter
 
 	// Runner-level cell lifecycle, fed by RunnerHooks.
 	CellsCompleted *CounterVec   // by status: ok | error
@@ -90,6 +94,15 @@ func New() *Telemetry {
 			"API runs currently executing"),
 		HTTPRequests: reg.CounterVec("pvcd_http_requests_total",
 			"HTTP requests served, by route", "route"),
+		HTTPDuration: reg.HistogramVec("pvcsim_http_request_duration_seconds",
+			"wall-clock HTTP request latency, by route and outcome",
+			WallBuckets, "route", "outcome"),
+		RunCacheHits: reg.Counter("pvcd_run_cache_hits_total",
+			"run submissions answered from the in-memory completed-run cache"),
+		SSEKeepalives: reg.Counter("pvcd_sse_keepalives_total",
+			"SSE keepalive comments written to event-stream subscribers"),
+		SSEResumes: reg.Counter("pvcd_sse_resumes_total",
+			"SSE subscriptions resumed from a client Last-Event-ID"),
 		CellsCompleted: reg.CounterVec("pvcsim_cells_completed_total",
 			"runner cells with a final result, by status", "status"),
 		CellWall: reg.HistogramVec("pvcsim_cell_wall_seconds",
@@ -123,7 +136,7 @@ func New() *Telemetry {
 			"per-lane busy fraction of engine wall time, one sample per lane per instrumented run",
 			UtilizationBuckets),
 		PhaseWall: reg.HistogramVec("pvcsim_runner_phase_seconds",
-			"wall-clock runner phase durations, by phase (build, simulate, export)",
+			"wall-clock runner phase durations, by phase (build, simulate, export, cache-wait)",
 			WallBuckets, "phase"),
 	}
 }
@@ -133,16 +146,17 @@ func New() *Telemetry {
 // importing wallprof (the daemon copies the values across
 // structurally). All durations are wall-clock seconds.
 type EngineRunStats struct {
-	Rounds          float64
-	Barriers        float64
-	MailboxMsgs     float64
-	BusySeconds     float64
-	StallSeconds    float64
-	BarrierSeconds  float64
-	LaneUtilization []float64 // one sample per lane of every instrumented cell
-	BuildSeconds    []float64 // one sample per cell
-	SimulateSeconds []float64
-	ExportSeconds   float64
+	Rounds           float64
+	Barriers         float64
+	MailboxMsgs      float64
+	BusySeconds      float64
+	StallSeconds     float64
+	BarrierSeconds   float64
+	LaneUtilization  []float64 // one sample per lane of every instrumented cell
+	BuildSeconds     []float64 // one sample per cell
+	SimulateSeconds  []float64
+	CacheWaitSeconds []float64 // one sample per memo-served cell
+	ExportSeconds    float64
 }
 
 // ObserveEngine folds one run's engine self-profile totals into the
@@ -163,6 +177,9 @@ func (t *Telemetry) ObserveEngine(s EngineRunStats) {
 	}
 	for _, sim := range s.SimulateSeconds {
 		t.PhaseWall.With("simulate").Observe(sim)
+	}
+	for _, cw := range s.CacheWaitSeconds {
+		t.PhaseWall.With("cache-wait").Observe(cw)
 	}
 	if s.ExportSeconds > 0 {
 		t.PhaseWall.With("export").Observe(s.ExportSeconds)

@@ -411,16 +411,17 @@ func (c *Collector) WriteChromeTrace(w io.Writer) error {
 // layer scrapes (internal/telemetry stays import-free, so the daemon
 // copies these fields across structurally).
 type Totals struct {
-	Rounds          float64
-	Barriers        float64
-	MailboxMsgs     float64
-	BusySeconds     float64
-	StallSeconds    float64
-	BarrierSeconds  float64
-	LaneUtilization []float64 // one sample per lane of every instrumented cell
-	BuildSeconds    []float64 // one sample per cell
-	SimulateSeconds []float64
-	ExportSeconds   float64
+	Rounds           float64
+	Barriers         float64
+	MailboxMsgs      float64
+	BusySeconds      float64
+	StallSeconds     float64
+	BarrierSeconds   float64
+	LaneUtilization  []float64 // one sample per lane of every instrumented cell
+	BuildSeconds     []float64 // one sample per cell
+	SimulateSeconds  []float64
+	CacheWaitSeconds []float64 // one sample per memo-served cell
+	ExportSeconds    float64
 }
 
 // Totals flattens the report for per-run scraping.
@@ -433,6 +434,9 @@ func (r *Report) Totals() Totals {
 		t.BarrierSeconds += c.BarrierMS / 1e3
 		t.BuildSeconds = append(t.BuildSeconds, c.BuildMS/1e3)
 		t.SimulateSeconds = append(t.SimulateSeconds, c.SimulateMS/1e3)
+		if c.CacheHits > 0 {
+			t.CacheWaitSeconds = append(t.CacheWaitSeconds, c.CacheWaitMS/1e3)
+		}
 		for _, l := range c.Lanes {
 			t.MailboxMsgs += float64(l.MsgsEmitted)
 			t.BusySeconds += l.BusyMS / 1e3

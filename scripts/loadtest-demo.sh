@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Loadtest demo: boot pvcd with the run-history journal on, drive it
+# with the built-in `pvcd loadtest` client (repeat wait-mode requests
+# for one workload, so everything after the first completion is served
+# from the completed-run cache), and assert the service-latency story
+# end to end: p50/p95/p99 reported from the shared histogram code path,
+# a non-zero cache-hit rate, and a journal that parses, round-trips
+# byte-exactly, and renders a trend table. CI runs this as the
+# "loadtest" job (see .github/workflows/ci.yml).
+set -euo pipefail
+
+ADDR="${PVCD_ADDR:-127.0.0.1:8331}"
+WORKDIR="$(mktemp -d)"
+PVCD_PID=""
+cleanup() {
+  [ -n "$PVCD_PID" ] && kill -9 "$PVCD_PID" 2>/dev/null
+  rm -rf "$WORKDIR"
+  return 0
+}
+trap cleanup EXIT
+
+HISTORY="$WORKDIR/history.jsonl"
+
+echo "== build"
+go build -o "$WORKDIR/pvcd" ./cmd/pvcd
+go build -o "$WORKDIR/pvcprof" ./cmd/pvcprof
+
+echo "== boot pvcd on $ADDR with the history journal"
+"$WORKDIR/pvcd" -addr "$ADDR" -jobs 2 -log-format json -history "$HISTORY" \
+  >"$WORKDIR/pvcd.log" 2>&1 &
+PVCD_PID=$!
+ready=""
+for _ in $(seq 1 100); do
+  if curl -fsS "http://$ADDR/readyz" >/dev/null 2>&1; then
+    ready=1
+    break
+  fi
+  if ! kill -0 "$PVCD_PID" 2>/dev/null; then
+    echo "pvcd died during startup:" >&2
+    cat "$WORKDIR/pvcd.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+[ -n "$ready" ] || { echo "pvcd not ready within 10s" >&2; exit 1; }
+
+echo "== loadtest: 12 repeat requests at concurrency 3"
+"$WORKDIR/pvcd" loadtest -addr "$ADDR" -workload clover-scaling \
+  -requests 12 -concurrency 3 | tee "$WORKDIR/loadtest.txt"
+
+echo "== latency percentiles are reported"
+grep -q 'latency p50 .*p95 .*p99 ' "$WORKDIR/loadtest.txt" || {
+  echo "loadtest output has no percentile line" >&2
+  exit 1
+}
+
+echo "== repeat requests are served from the completed-run cache"
+grep -Eq 'cache-hit +[1-9]' "$WORKDIR/loadtest.txt" || {
+  echo "no cache hits across 12 repeat requests" >&2
+  exit 1
+}
+if grep -Eq '^ *(error|rejected) +[1-9]' "$WORKDIR/loadtest.txt"; then
+  echo "loadtest saw errors or rejections" >&2
+  exit 1
+fi
+
+echo "== drain pvcd"
+kill -TERM "$PVCD_PID"
+wait "$PVCD_PID" || { echo "pvcd exited non-zero after SIGTERM" >&2; exit 1; }
+PVCD_PID=""
+
+echo "== the journal parses and round-trips byte-exactly"
+"$WORKDIR/pvcd" -validate-history "$HISTORY"
+
+echo "== pvcprof history renders the trend table"
+"$WORKDIR/pvcprof" history -baseline "" "$HISTORY" | tee "$WORKDIR/trend.txt"
+grep -q 'WORKLOAD' "$WORKDIR/trend.txt"
+grep -q 'clover-scaling' "$WORKDIR/trend.txt"
+
+echo "ok: loadtest demo passed"
