@@ -3,9 +3,11 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"log/slog"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
@@ -109,6 +111,47 @@ func TestWaitModeRepeatIsCacheHit(t *testing.T) {
 	rn := waitRun(t, s, id)
 	if st := s.statusOf(rn); st.Cached {
 		t.Fatal("async submission must never be answered from the cache")
+	}
+}
+
+func TestSpecCacheKeyNormalizesEquivalentSpecs(t *testing.T) {
+	// Workload "" and "all" are documented as the same selection, and
+	// system order never changes the exported bytes — both must map to
+	// one cache key.
+	a := specCacheKey(runSpec{Workload: "", Systems: []string{"dawn", "aurora"}})
+	b := specCacheKey(runSpec{Workload: "all", Systems: []string{"aurora", "dawn"}})
+	if a != b {
+		t.Fatalf("equivalent specs key differently:\n %q\n %q", a, b)
+	}
+	if c := specCacheKey(runSpec{Workload: "p2p", Systems: []string{"aurora", "dawn"}}); c == a {
+		t.Fatalf("distinct workload collides with %q", a)
+	}
+	spec := runSpec{Systems: []string{"dawn", "aurora"}}
+	specCacheKey(spec)
+	if spec.Systems[0] != "dawn" {
+		t.Fatal("specCacheKey reordered the caller's Systems slice")
+	}
+
+	// End to end: a repeat submission with systems reordered is served
+	// from the completed-run cache.
+	s, ts := testServer(t, 2)
+	_, first := postJSON(t, ts, `{"workload":"p2p","systems":["aurora","dawn"],"wait":true}`)
+	_, second := postJSON(t, ts, `{"workload":"p2p","systems":["dawn","aurora"],"wait":true}`)
+	var st1, st2 statusJSON
+	if err := json.Unmarshal(first, &st1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(second, &st2); err != nil {
+		t.Fatal(err)
+	}
+	if st1.Status != "done" || st1.Cached {
+		t.Fatalf("first run = %+v, want fresh done", st1)
+	}
+	if !st2.Cached || st2.ID != st1.ID {
+		t.Fatalf("reordered repeat = %+v, want cache hit on run %s", st2, st1.ID)
+	}
+	if got := s.tele.RunCacheHits.Value(); got != 1 {
+		t.Fatalf("pvcd_run_cache_hits_total = %g, want 1", got)
 	}
 }
 
@@ -284,6 +327,38 @@ func TestSSEKeepaliveAndResume(t *testing.T) {
 	}
 	if got := s.tele.SSEKeepalives.Value(); got < 2 {
 		t.Fatalf("pvcd_sse_keepalives_total = %g, want >= 2 (one per subscription)", got)
+	}
+}
+
+// TestSSEResumeBeyondEndOfFinishedRun: a Last-Event-ID at or past the
+// final event of a closed stream must end the stream immediately with
+// nothing to replay — the regression was an unthrottled keepalive spin
+// (wait returned done=false forever once the cursor overshot history).
+func TestSSEResumeBeyondEndOfFinishedRun(t *testing.T) {
+	s, ts := testServer(t, 1)
+	id := submitRun(t, ts, `{"workload":"p2p","systems":["aurora"]}`)
+	waitRun(t, s, id)
+
+	for _, last := range []string{"9999", strconv.Itoa(math.MaxInt)} {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		req, _ := http.NewRequestWithContext(ctx, "GET", ts.URL+"/v1/runs/"+id+"/events", nil)
+		req.Header.Set("Last-Event-ID", last)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		// Cap the read: a busy-looping server would stream keepalives
+		// until the context deadline.
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		cancel()
+		if err != nil {
+			t.Fatalf("Last-Event-ID %s: stream did not terminate (read %d bytes): %v", last, len(body), err)
+		}
+		if got := string(body); got != ": keepalive\n\n" {
+			t.Fatalf("Last-Event-ID %s: overshoot resume replayed data or spun keepalives:\n%q", last, got)
+		}
 	}
 }
 

@@ -138,7 +138,10 @@ func (b *broadcaster) wait(ctx context.Context, from int, timeout time.Duration)
 	if len(b.history) > from {
 		evs = append(evs, b.history[from:]...)
 	}
-	return evs, b.closed && from+len(evs) == len(b.history)
+	// >= not ==: a resume cursor past the end of a closed stream (a
+	// crafted or stale Last-Event-ID) is caught-up, not pending — else
+	// the SSE handler's keepalive branch spins with zero delay.
+	return evs, b.closed && from+len(evs) >= len(b.history)
 }
 
 // sseHooks feeds runner lifecycle events into a run's broadcaster. It
@@ -443,10 +446,20 @@ func (s *server) resolveCells(spec runSpec) ([]runner.Cell, error) {
 // specCacheKey canonicalizes the result-determining part of a spec.
 // Jobs and Wait are excluded on purpose: results are deterministic
 // across any -jobs setting (the determinism tests prove it), so two
-// specs differing only there produce byte-identical outputs.
+// specs differing only there produce byte-identical outputs. Workload
+// "" and "all" are the same selection (resolveCells treats them
+// identically), and system order never reaches the exported bytes
+// (the artifacts zip is path-sorted, the obs report cell-sorted), so
+// both normalize to one key.
 func specCacheKey(spec runSpec) string {
+	w := spec.Workload
+	if w == "" {
+		w = "all"
+	}
+	systems := append([]string(nil), spec.Systems...)
+	sort.Strings(systems)
 	return fmt.Sprintf("w=%s|s=%s|a=%t",
-		spec.Workload, strings.Join(spec.Systems, ","), spec.Artifacts)
+		w, strings.Join(systems, ","), spec.Artifacts)
 }
 
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -900,6 +913,11 @@ func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if last := r.Header.Get("Last-Event-ID"); last != "" {
 		if n, err := strconv.Atoi(last); err == nil && n >= 0 {
 			idx = n + 1
+			if idx < 0 {
+				// n == MaxInt: keep the cursor past the end rather than
+				// wrapping negative (history[idx:] would panic).
+				idx = n
+			}
 			s.tele.SSEResumes.Inc()
 		}
 	}

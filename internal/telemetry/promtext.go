@@ -18,12 +18,17 @@ import (
 // Sample is one parsed time series sample. LabelNames preserves the
 // label order as written — WritePrometheus emits labels in declaration
 // order with "le" last, and WriteText re-renders in the same order so
-// a page round-trips byte-identically.
+// a page round-trips byte-identically. ValueText likewise preserves
+// the value spelling as written: WritePrometheus renders histogram
+// _bucket/_count values as integers (%d), which strconv's 'g' format
+// would re-spell as "1e+06" once counts pass a million, breaking the
+// byte-identity.
 type Sample struct {
 	Name       string
 	Labels     map[string]string
 	LabelNames []string
 	Value      float64
+	ValueText  string
 }
 
 // Family is one parsed metric family: its declared TYPE, HELP, and
@@ -224,6 +229,7 @@ func parseSample(line string) (Sample, error) {
 		return s, fmt.Errorf("sample %s: bad value %q", s.Name, fields[0])
 	}
 	s.Value = v
+	s.ValueText = fields[0]
 	return s, nil
 }
 
@@ -379,7 +385,8 @@ func checkHistogram(fam *Family) error {
 
 // WriteText re-renders a parsed page in the registry's canonical form:
 // families sorted by name, # HELP (when present as parsed) then
-// # TYPE, then samples in parsed order with labels in parsed order. A
+// # TYPE, then samples in parsed order with labels — and value
+// spellings — in parsed order. A
 // page produced by WritePrometheus round-trips byte-identically
 // (emit → ParseMetrics → WriteText — the round-trip property test);
 // any accepted page re-renders to an equivalent page that reparses to
@@ -405,8 +412,14 @@ func (fs Families) WriteText(w io.Writer) error {
 			for i, ln := range s.LabelNames {
 				values[i] = s.Labels[ln]
 			}
+			// Prefer the spelling as parsed (see Sample.ValueText); a
+			// hand-built Sample without one falls back to canonical form.
+			vt := s.ValueText
+			if vt == "" {
+				vt = formatValue(s.Value)
+			}
 			if _, err := fmt.Fprintf(w, "%s%s %s\n",
-				s.Name, labelPairs(s.LabelNames, values, "", ""), formatValue(s.Value)); err != nil {
+				s.Name, labelPairs(s.LabelNames, values, "", ""), vt); err != nil {
 				return err
 			}
 		}

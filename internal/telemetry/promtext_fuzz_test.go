@@ -73,6 +73,13 @@ func FuzzParseMetrics(f *testing.F) {
 			"pvcsim_http_request_duration_seconds_bucket{route=\"runs_submit\",outcome=\"ok\",le=\"+Inf\"} 2\n" +
 			"pvcsim_http_request_duration_seconds_sum{route=\"runs_submit\",outcome=\"ok\"} 0.25\n" +
 			"pvcsim_http_request_duration_seconds_count{route=\"runs_submit\",outcome=\"ok\"} 2\n",
+		// Integer-rendered bucket/count values past a million: WriteText
+		// must keep the %d spelling rather than re-rendering as 1e+06.
+		"# TYPE pvc_big_seconds histogram\n" +
+			"pvc_big_seconds_bucket{le=\"1\"} 1000000\n" +
+			"pvc_big_seconds_bucket{le=\"+Inf\"} 2500000\n" +
+			"pvc_big_seconds_sum 1.5e+06\n" +
+			"pvc_big_seconds_count 2500000\n",
 		// Quantile-ish summary lines: a plain gauge family carrying a
 		// quantile label must parse as ordinary labelled samples.
 		"# TYPE pvc_latency gauge\npvc_latency{quantile=\"0.5\"} 0.01\npvc_latency{quantile=\"0.99\"} 1.5\n",

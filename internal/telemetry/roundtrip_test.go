@@ -27,6 +27,13 @@ func populatedRegistry() *Registry {
 	hv.With("runs_submit", "cache-hit").Observe(0.001)
 	h := reg.Histogram("rt_lane_util", "unlabelled histogram", UtilizationBuckets)
 	h.Observe(0.5)
+	// A long-lived daemon's counts pass a million: %d-rendered
+	// _bucket/_count values must survive the round trip without being
+	// re-spelled as "1.234567e+06".
+	big := reg.Histogram("rt_big_count", "histogram with count >= 1e6", []float64{1})
+	for i := 0; i < 1_234_567; i++ {
+		big.Observe(0.5)
+	}
 	return reg
 }
 
@@ -93,6 +100,29 @@ func TestFullTelemetryPageRoundTrips(t *testing.T) {
 	}
 	if !bytes.Equal(first.Bytes(), second.Bytes()) {
 		t.Fatalf("telemetry page diverges at byte %d", firstDiff(first.Bytes(), second.Bytes()))
+	}
+}
+
+// TestParseWriteTextPreservesValueSpelling pins the fix directly: a
+// page whose histogram _bucket/_count values are written as integers
+// (the WritePrometheus %d form) re-renders byte-identically even when
+// strconv's 'g' format would switch those values to exponent notation.
+func TestParseWriteTextPreservesValueSpelling(t *testing.T) {
+	page := "# TYPE pvc_big_seconds histogram\n" +
+		"pvc_big_seconds_bucket{le=\"1\"} 1000000\n" +
+		"pvc_big_seconds_bucket{le=\"+Inf\"} 2500000\n" +
+		"pvc_big_seconds_sum 1.5e+06\n" +
+		"pvc_big_seconds_count 2500000\n"
+	fams, err := ParseMetrics(bytes.NewReader([]byte(page)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := fams.WriteText(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != page {
+		t.Fatalf("value spellings not preserved:\n in: %q\nout: %q", page, out.String())
 	}
 }
 
